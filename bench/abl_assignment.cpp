@@ -1,0 +1,34 @@
+// Ablation: Cumulative Round-Robin vs plain Round-Robin job assignment
+// (Sec. III-E argues C-RR balances ragged batches over the long run).
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const bench::FigureContext ctx = bench::parse_figure_args(argc, argv);
+  bench::print_banner(ctx, "Ablation", "C-RR vs plain RR job assignment");
+
+  const std::vector<exp::SchedulerSpec> specs{exp::SchedulerSpec::parse("GE"),
+                                              exp::SchedulerSpec::parse("GE-RR")};
+  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates);
+
+  bench::print_panel(
+      ctx, "(a) service quality",
+      exp::series_table(points, "arrival_rate", bench::metric_quality),
+      "C-RR dominates decisively: plain RR restarts every distribution cycle "
+      "at core 0, and because idle-core triggering produces many single-job "
+      "batches, RR piles the whole stream onto the first cores while the "
+      "rest idle -- exactly the imbalance C-RR's cumulative cursor removes");
+  bench::print_panel(
+      ctx, "(c) per-core energy imbalance (coefficient of variation)",
+      exp::series_table(points, "arrival_rate",
+                        [](const exp::RunResult& r) { return r.energy_cov; }),
+      "C-RR keeps per-core energies nearly identical (CoV ~0); plain RR's "
+      "CoV explodes, confirming the imbalance mechanism");
+  bench::print_panel(
+      ctx, "(b) energy (J)",
+      exp::series_table(points, "arrival_rate", bench::metric_energy, 1),
+      "the RR-overloaded cores burn power at the convex top of the P = a*s^2 "
+      "curve while idle cores contribute nothing, so RR also loses on energy "
+      "per unit of quality");
+  return 0;
+}

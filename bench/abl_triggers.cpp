@@ -1,0 +1,40 @@
+// Ablation: triggering-event parameters (Sec. III-E / IV-B) -- the quantum
+// period and the waiting-queue counter threshold.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const bench::FigureContext ctx = bench::parse_figure_args(argc, argv, {175.0});
+  bench::print_banner(ctx, "Ablation",
+                      "quantum / counter trigger sensitivity (175 req/s)");
+
+  exp::ExperimentConfig base = ctx.base;
+  base.arrival_rate = ctx.rates.front();
+  const workload::Trace trace =
+      workload::Trace::generate(base.workload_spec(), base.duration);
+
+  util::Table table({"quantum_s", "counter", "quality", "energy_J", "p99_ms",
+                     "rounds"});
+  for (double quantum : {0.1, 0.5, 2.0}) {
+    for (int counter : {1, 8, 32}) {
+      exp::ExperimentConfig cfg = base;
+      cfg.quantum = quantum;
+      cfg.counter_threshold = counter;
+      const exp::RunResult r =
+          exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
+      table.begin_row();
+      table.add(quantum, 2);
+      table.add(static_cast<std::uint64_t>(counter));
+      table.add(r.quality, 4);
+      table.add(r.energy, 1);
+      table.add(r.p99_response_ms, 1);
+      table.add(r.rounds);
+    }
+  }
+  bench::print_panel(ctx, "GE sensitivity to the triggering parameters", table,
+                     "the paper's (0.5 s, 8) sits in a flat region: idle-core "
+                     "triggering dominates, so quality and energy barely move "
+                     "unless the counter gets so large that batching delays "
+                     "dispatch near the 150 ms deadline");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks of the algorithmic kernels (google-benchmark): LF job
+// cutting, water-filling, the Energy-OPT planner, the Quality-OPT
+// allocator, and the event queue.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "opt/energy_opt.h"
+#include "opt/job_cutter.h"
+#include "opt/quality_opt.h"
+#include "opt/yds.h"
+#include "power/distribution.h"
+#include "quality/quality_function.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "workload/job.h"
+
+namespace {
+
+using ge::quality::ExponentialQuality;
+
+const ExponentialQuality& paper_f() {
+  static const ExponentialQuality f(0.003, 1000.0);
+  return f;
+}
+
+std::vector<double> random_demands(std::size_t n, std::uint64_t seed) {
+  ge::util::Rng rng(seed);
+  std::vector<double> demands(n);
+  for (double& d : demands) {
+    d = rng.uniform(130.0, 1000.0);
+  }
+  return demands;
+}
+
+void BM_JobCutterLongestFirst(benchmark::State& state) {
+  const auto demands = random_demands(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ge::opt::cut_longest_first(demands, paper_f(), 0.9));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JobCutterLongestFirst)->Range(4, 1024);
+
+void BM_CutLevelBisection(benchmark::State& state) {
+  const auto demands = random_demands(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ge::opt::cut_level_for_quality(demands, paper_f(), 0.9));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CutLevelBisection)->Range(4, 1024);
+
+void BM_WaterFilling(benchmark::State& state) {
+  ge::util::Rng rng(3);
+  std::vector<double> demands(static_cast<std::size_t>(state.range(0)));
+  for (double& d : demands) {
+    d = rng.uniform(0.0, 40.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ge::power::water_filling(160.0, demands));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WaterFilling)->Range(4, 1024);
+
+void BM_EnergyOptPlanner(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ge::util::Rng rng(4);
+  std::vector<ge::workload::Job> jobs(n);
+  std::vector<ge::opt::PlanJob> plan_jobs;
+  double deadline = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    deadline += rng.uniform(0.005, 0.05);
+    jobs[i].id = i + 1;
+    jobs[i].deadline = deadline;
+    jobs[i].demand = jobs[i].target = rng.uniform(50.0, 500.0);
+    plan_jobs.push_back(ge::opt::PlanJob{&jobs[i], jobs[i].demand, deadline});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ge::opt::plan_min_energy(0.0, plan_jobs, 1e9));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnergyOptPlanner)->Range(4, 256);
+
+void BM_QualityOptAllocator(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ge::util::Rng rng(5);
+  std::vector<ge::opt::AllocJob> jobs;
+  double deadline = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    deadline += rng.uniform(0.005, 0.05);
+    jobs.push_back(ge::opt::AllocJob{rng.uniform(0.0, 100.0),
+                                     rng.uniform(50.0, 500.0), deadline});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ge::opt::maximize_quality(0.0, jobs, 1500.0, paper_f()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QualityOptAllocator)->Range(4, 256);
+
+void BM_FullYdsSchedule(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ge::util::Rng rng(7);
+  std::vector<ge::opt::YdsJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double release = rng.uniform(0.0, static_cast<double>(n) / 150.0);
+    jobs.push_back(ge::opt::YdsJob{release, release + rng.uniform(0.1, 0.4),
+                                   rng.uniform(50.0, 500.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ge::opt::yds_schedule(jobs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullYdsSchedule)->Range(16, 512);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ge::util::Rng rng(6);
+  std::vector<double> times(n);
+  for (double& t : times) {
+    t = rng.uniform(0.0, 1000.0);
+  }
+  for (auto _ : state) {
+    ge::sim::EventQueue queue;
+    for (double t : times) {
+      queue.push(t, [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueuePushPop)->Range(64, 16384);
+
+void BM_QualityFunctionValue(benchmark::State& state) {
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1.0;
+    if (x > 1000.0) {
+      x = 0.0;
+    }
+    benchmark::DoNotOptimize(paper_f().value(x));
+  }
+}
+BENCHMARK(BM_QualityFunctionValue);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// End-to-end simulator throughput (google-benchmark): how many simulated
+// seconds / scheduled jobs per wall-clock second the stack sustains for the
+// main schedulers.
+#include <benchmark/benchmark.h>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+
+namespace {
+
+ge::exp::ExperimentConfig bench_config(double rate) {
+  ge::exp::ExperimentConfig cfg = ge::exp::ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = rate;
+  cfg.duration = 5.0;
+  cfg.seed = 99;
+  return cfg;
+}
+
+void run_scheduler(benchmark::State& state, const char* name, double rate) {
+  const ge::exp::ExperimentConfig cfg = bench_config(rate);
+  const ge::workload::Trace trace =
+      ge::workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const ge::exp::RunResult r =
+        ge::exp::run_simulation(cfg, ge::exp::SchedulerSpec::parse(name), trace);
+    jobs += r.released;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["sim_seconds_per_iter"] = cfg.duration;
+}
+
+void BM_SimulateGE_Light(benchmark::State& state) { run_scheduler(state, "GE", 100.0); }
+void BM_SimulateGE_Heavy(benchmark::State& state) { run_scheduler(state, "GE", 220.0); }
+void BM_SimulateBE_Heavy(benchmark::State& state) { run_scheduler(state, "BE", 220.0); }
+void BM_SimulateFCFS_Heavy(benchmark::State& state) {
+  run_scheduler(state, "FCFS", 220.0);
+}
+void BM_SimulateGE_Discrete(benchmark::State& state) {
+  ge::exp::ExperimentConfig cfg = bench_config(180.0);
+  cfg.discrete_speeds = true;
+  const ge::workload::Trace trace =
+      ge::workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ge::exp::run_simulation(cfg, ge::exp::SchedulerSpec::parse("GE"), trace));
+  }
+}
+
+BENCHMARK(BM_SimulateGE_Light)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateGE_Heavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateBE_Heavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateFCFS_Heavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateGE_Discrete)->Unit(benchmark::kMillisecond);
+
+}  // namespace

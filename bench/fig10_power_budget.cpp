@@ -1,0 +1,41 @@
+// Fig. 10: GE quality (a) and energy (b) under different total power
+// budgets H in {80, 160, 320, 480} W.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const bench::FigureContext ctx = bench::parse_figure_args(argc, argv);
+  bench::print_banner(ctx, "Fig. 10", "effect of the total power budget");
+
+  const std::vector<double> budgets{80.0, 160.0, 320.0, 480.0};
+  std::vector<std::string> header{"arrival_rate"};
+  for (double b : budgets) {
+    header.push_back("H=" + util::format_double(b, 0) + "W");
+  }
+  util::Table quality_table(header);
+  util::Table energy_table(header);
+  for (double rate : ctx.rates) {
+    quality_table.begin_row();
+    energy_table.begin_row();
+    quality_table.add(rate, 1);
+    energy_table.add(rate, 1);
+    for (double budget : budgets) {
+      exp::ExperimentConfig cfg = ctx.base;
+      cfg.arrival_rate = rate;
+      cfg.power_budget = budget;
+      const exp::RunResult r = exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"));
+      quality_table.add(r.quality, 4);
+      energy_table.add(r.energy, 1);
+    }
+  }
+  bench::print_panel(ctx, "(a) GE service quality vs arrival rate per budget",
+                     quality_table,
+                     "large budgets are unnecessary under light load; under "
+                     "heavy load more budget keeps quality stable (80 W "
+                     "collapses first)");
+  bench::print_panel(ctx, "(b) GE energy (J) vs arrival rate per budget",
+                     energy_table,
+                     "energy grows with load until the budget saturates, then "
+                     "flattens -- the knee appears earlier for small budgets");
+  return 0;
+}

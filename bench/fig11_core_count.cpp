@@ -1,0 +1,30 @@
+// Fig. 11: GE quality (a) and energy (b) versus the number of cores 2^x,
+// x = 0..6, with the total power budget held fixed.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const bench::FigureContext ctx = bench::parse_figure_args(argc, argv, {150.0});
+  bench::print_banner(ctx, "Fig. 11",
+                      "effect of the core count (fixed 320 W total budget)");
+
+  util::Table table({"log2_cores", "cores", "quality", "energy_J", "avg_speed_GHz"});
+  for (int x = 0; x <= 6; ++x) {
+    exp::ExperimentConfig cfg = ctx.base;
+    cfg.arrival_rate = ctx.rates.front();
+    cfg.cores = static_cast<std::size_t>(1) << x;
+    const exp::RunResult r = exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"));
+    table.begin_row();
+    table.add(static_cast<std::uint64_t>(x));
+    table.add(static_cast<std::uint64_t>(cfg.cores));
+    table.add(r.quality, 4);
+    table.add(r.energy, 1);
+    table.add(r.avg_speed_ghz, 3);
+  }
+  bench::print_panel(ctx, "GE quality and energy vs core count (150 req/s)", table,
+                     "few cores: poor quality and high energy (convex power "
+                     "makes fast cores expensive); quality rises and energy "
+                     "falls with more cores until the system saturates and "
+                     "extra cores stop mattering");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "fig_common.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace ge::bench {
+
+FigureContext parse_figure_args(int argc, const char* const* argv,
+                                std::vector<double> default_rates) {
+  util::Flags flags(argc, argv);
+  FigureContext ctx;
+  ctx.base = exp::ExperimentConfig::paper_defaults();
+  ctx.base.duration = flags.get_double("seconds", 60.0);
+  ctx.base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  ctx.rates = flags.get_double_list("rates", std::move(default_rates));
+  ctx.csv = flags.get_bool("csv", false);
+  return ctx;
+}
+
+void print_banner(const FigureContext& ctx, const std::string& figure,
+                  const std::string& title) {
+  std::printf("== %s: %s ==\n", figure.c_str(), title.c_str());
+  std::printf(
+      "config: m=%zu cores, H=%.0f W, P=%g*s^%g, c=%g, Q_GE=%.2f, "
+      "deadline=%.0f ms, duration=%.0f s/point, seed=%llu\n",
+      ctx.base.cores, ctx.base.power_budget, ctx.base.power_a, ctx.base.power_beta,
+      ctx.base.quality_c, ctx.base.q_ge, ctx.base.deadline_interval * 1000.0,
+      ctx.base.duration, static_cast<unsigned long long>(ctx.base.seed));
+  std::printf("note: critical load %.0f req/s, overload point ~%.0f req/s\n\n",
+              ctx.base.critical_load, ctx.base.overload_rate);
+}
+
+void print_panel(const FigureContext& ctx, const std::string& caption,
+                 const util::Table& table, const std::string& paper_shape) {
+  std::printf("-- %s --\n", caption.c_str());
+  if (ctx.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::printf("paper shape: %s\n\n", paper_shape.c_str());
+}
+
+double metric_quality(const exp::RunResult& r) { return r.quality; }
+double metric_energy(const exp::RunResult& r) { return r.energy; }
+
+}  // namespace ge::bench

@@ -1,0 +1,48 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Every figNN binary accepts:
+//   --seconds S    arrival horizon per point (default 60; paper uses 600)
+//   --seed N       workload seed (default 1)
+//   --rates a,b,c  arrival-rate sweep override
+//   --csv          print strict CSV instead of aligned tables
+// and prints one table per panel of the figure plus a note stating the
+// qualitative shape the paper reports, so EXPERIMENTS.md can record
+// paper-vs-measured directly from the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "exp/sweep.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace ge::bench {
+
+struct FigureContext {
+  exp::ExperimentConfig base;
+  std::vector<double> rates;
+  bool csv = false;
+};
+
+// Parses the common flags and applies them to the paper-default config.
+FigureContext parse_figure_args(int argc, const char* const* argv,
+                                std::vector<double> default_rates =
+                                    exp::paper_arrival_rates());
+
+// Banner: figure id, title, key config values.
+void print_banner(const FigureContext& ctx, const std::string& figure,
+                  const std::string& title);
+
+// Prints one panel: caption, table, and the paper's expected shape.
+void print_panel(const FigureContext& ctx, const std::string& caption,
+                 const util::Table& table, const std::string& paper_shape);
+
+// Convenience metric lambdas.
+double metric_quality(const exp::RunResult& r);
+double metric_energy(const exp::RunResult& r);
+
+}  // namespace ge::bench

@@ -1,0 +1,81 @@
+// Domain scenario: financial market monitoring (one of the paper's
+// motivating "good enough" services).  Risk dashboards re-aggregate
+// positions on every tick batch; answers are useful only within a freshness
+// window, partial aggregation is acceptable, and tick traffic is *bursty*
+// around market events.  This example models that regime -- bursty on-off
+// arrivals, heterogeneous freshness windows, a sharply concave quality
+// function -- and compares GE against best effort through a calm -> volatile
+// day.
+//
+//   ./market_monitoring [--seconds 20] [--qge 0.92]
+#include <cstdio>
+#include <iostream>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const util::Flags flags(argc, argv);
+  exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+  cfg.duration = flags.get_double("seconds", 20.0);
+  cfg.q_ge = flags.get_double("qge", 0.92);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
+  // Monitoring traits: freshness windows between 150 and 400 ms, strongly
+  // diminishing returns (the largest positions dominate the risk number),
+  // bursty tick traffic.
+  cfg.deadline_interval = 0.150;
+  cfg.deadline_interval_max = 0.400;
+  cfg.quality_c = 0.006;
+  cfg.burst_fraction = 0.15;
+  cfg.burst_dwell = 0.5;
+
+  struct Phase {
+    const char* name;
+    double rate;
+    double peak_to_mean;
+  };
+  const Phase phases[] = {{"calm session", 110.0, 1.0},
+                          {"news spike", 140.0, 2.5},
+                          {"volatile close", 170.0, 4.0}};
+
+  std::printf("Market-monitoring service: Q_GE = %.2f, freshness 150-400 ms, "
+              "c = %.3f\n\n",
+              cfg.q_ge, cfg.quality_c);
+  for (const Phase& phase : phases) {
+    cfg.arrival_rate = phase.rate;
+    cfg.burst_peak_to_mean = phase.peak_to_mean;
+    const workload::Trace trace =
+        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+    const exp::RunResult ge =
+        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
+    const exp::RunResult be =
+        exp::run_simulation(cfg, exp::SchedulerSpec::parse("BE"), trace);
+
+    util::Table table({"scheduler", "quality", "energy_J", "avg_W", "p99_ms",
+                       "dropped"});
+    for (const exp::RunResult* r : {&ge, &be}) {
+      table.begin_row();
+      table.add(r->scheduler);
+      table.add(r->quality, 4);
+      table.add(r->energy, 1);
+      table.add(r->avg_power, 1);
+      table.add(r->p99_response_ms, 1);
+      table.add(r->dropped);
+    }
+    std::printf("-- %s: %.0f updates/s mean, %.1fx burst peak --\n", phase.name,
+                phase.rate, phase.peak_to_mean);
+    table.print(std::cout);
+    std::printf("GE meets the freshness-quality promise %s and saves %.1f%% "
+                "energy\n\n",
+                ge.quality >= cfg.q_ge - 0.01 ? "(yes)" : "(degraded burst)",
+                100.0 * (1.0 - ge.energy / be.energy));
+  }
+  std::printf("Compensation note: during bursts GE switches to Best-Quality "
+              "mode and\nthe energy gap narrows -- the promise costs watts "
+              "exactly when it binds.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "core/assignment.h"
+
+#include "util/check.h"
+
+namespace ge::sched {
+
+CumulativeRoundRobin::CumulativeRoundRobin(std::size_t cores, bool cumulative)
+    : cores_(cores), cumulative_(cumulative) {
+  GE_CHECK(cores > 0, "need at least one core");
+}
+
+std::size_t CumulativeRoundRobin::next() {
+  const std::size_t core = position_;
+  position_ = (position_ + 1) % cores_;
+  return core;
+}
+
+void CumulativeRoundRobin::begin_batch() {
+  if (!cumulative_) {
+    position_ = 0;
+  }
+}
+
+}  // namespace ge::sched

@@ -1,0 +1,34 @@
+// Job-to-core assignment policies (Sec. III-E).
+//
+// When a scheduling round runs, the jobs waiting in the queue are spread
+// over the cores in a batch.  The paper uses Cumulative Round-Robin (C-RR):
+// plain round-robin that remembers where the previous distribution cycle
+// stopped, which balances assignment counts across rounds with ragged batch
+// sizes.  Plain RR (restarting at core 0 every batch) is provided for the
+// ablation benchmark.
+#pragma once
+
+#include <cstddef>
+
+namespace ge::sched {
+
+class CumulativeRoundRobin {
+ public:
+  explicit CumulativeRoundRobin(std::size_t cores, bool cumulative = true);
+
+  // Core index for the next job.
+  std::size_t next();
+
+  // Called at the start of a distribution cycle; resets position unless
+  // cumulative.
+  void begin_batch();
+
+  bool cumulative() const noexcept { return cumulative_; }
+
+ private:
+  std::size_t cores_;
+  std::size_t position_ = 0;
+  bool cumulative_;
+};
+
+}  // namespace ge::sched

@@ -1,0 +1,376 @@
+#include "core/good_enough.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/plan_rectifier.h"
+#include "opt/energy_opt.h"
+#include "opt/job_cutter.h"
+#include "opt/quality_opt.h"
+#include "util/check.h"
+
+namespace ge::sched {
+namespace {
+
+// Remaining work below this many units counts as "done".
+constexpr double kWorkEps = 1e-6;
+// Deadlines closer than this are treated as already passed for planning.
+constexpr double kTimeEps = 1e-9;
+
+// Open jobs on the core in EDF order (stable: ties by arrival id).
+std::vector<workload::Job*> edf_queue(server::Core& core) {
+  std::vector<workload::Job*> jobs;
+  jobs.reserve(core.queue().size());
+  for (workload::Job* job : core.queue()) {
+    if (!job->settled) {
+      jobs.push_back(job);
+    }
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const workload::Job* a, const workload::Job* b) {
+    if (a->deadline != b->deadline) {
+      return a->deadline < b->deadline;
+    }
+    return a->id < b->id;
+  });
+  return jobs;
+}
+
+}  // namespace
+
+GoodEnoughScheduler::GoodEnoughScheduler(SchedulerEnv env, GoodEnoughOptions options,
+                                         std::string name)
+    : Scheduler(env, std::move(name)),
+      options_(options),
+      assigner_(env.server->core_count(), options.cumulative_rr),
+      load_(options.load_window) {
+  GE_CHECK(options_.q_ge >= 0.0 && options_.q_ge <= 1.0, "q_ge must be in [0,1]");
+  GE_CHECK(options_.cut_target >= 0.0 && options_.cut_target <= 1.0,
+           "cut_target must be in [0,1]");
+  GE_CHECK(options_.quantum > 0.0, "quantum must be positive");
+  GE_CHECK(options_.counter_threshold > 0, "counter threshold must be positive");
+  mode_ = options_.cutting ? Mode::kAes : Mode::kBq;
+}
+
+void GoodEnoughScheduler::start() {
+  mode_accounted_until_ = now();
+  arm_quantum();
+}
+
+void GoodEnoughScheduler::arm_quantum() {
+  quantum_event_ = env_.sim->schedule_in(options_.quantum, [this] {
+    quantum_event_ = sim::kInvalidEventId;
+    schedule_round();
+    arm_quantum();
+  });
+}
+
+void GoodEnoughScheduler::on_job_arrival(workload::Job* job) {
+  load_.record_arrival(now());
+  waiting_.push_back(job);
+  // Counter triggering, plus immediate dispatch when capacity sits idle
+  // (the idle-core trigger seen from the arrival side).
+  if (static_cast<int>(waiting_.size()) >= options_.counter_threshold ||
+      env_.server->find_idle_core(now()) >= 0) {
+    schedule_round();
+  }
+}
+
+void GoodEnoughScheduler::on_core_idle(int core_id) {
+  (void)core_id;
+  if (!waiting_.empty()) {
+    schedule_round();
+  }
+}
+
+void GoodEnoughScheduler::on_deadline(workload::Job* job) {
+  if (!job->settled) {
+    settle(job);
+  }
+  // A settlement can free a core while work is waiting; don't sit on it
+  // until the next quantum.
+  if (!in_round_ && !waiting_.empty() && env_.server->find_idle_core(now()) >= 0) {
+    schedule_round();
+  }
+}
+
+void GoodEnoughScheduler::finish() {
+  for (workload::Job* job : waiting_) {
+    if (!job->settled) {
+      settle(job);
+    }
+  }
+  waiting_.clear();
+  for (std::size_t i = 0; i < env_.server->core_count(); ++i) {
+    auto queue = env_.server->core(i).queue();  // copy: settle() mutates it
+    for (workload::Job* job : queue) {
+      if (!job->settled) {
+        settle(job);
+      }
+    }
+  }
+  account_mode_time();
+}
+
+void GoodEnoughScheduler::account_mode_time() {
+  const double t = now();
+  const double dt = t - mode_accounted_until_;
+  if (dt > 0.0) {
+    (mode_ == Mode::kAes ? aes_time_ : bq_time_) += dt;
+    mode_accounted_until_ = t;
+  }
+}
+
+double GoodEnoughScheduler::aes_time(double t) const {
+  return aes_time_ + (mode_ == Mode::kAes ? std::max(t - mode_accounted_until_, 0.0) : 0.0);
+}
+
+double GoodEnoughScheduler::bq_time(double t) const {
+  return bq_time_ + (mode_ == Mode::kBq ? std::max(t - mode_accounted_until_, 0.0) : 0.0);
+}
+
+GoodEnoughScheduler::Mode GoodEnoughScheduler::choose_mode() const {
+  if (!options_.cutting) {
+    return Mode::kBq;  // Best Effort: never cut
+  }
+  // Strictly-below test with a small numeric slack: AES cuts batches to
+  // *exactly* Q_GE, so without slack the monitored quality sits on the
+  // boundary and floating-point noise would flap the mode.
+  constexpr double kQualitySlack = 1e-6;
+  if (options_.compensation && env_.monitor->quality() < options_.q_ge - kQualitySlack) {
+    return Mode::kBq;  // compensation policy (Sec. III-C)
+  }
+  return Mode::kAes;
+}
+
+void GoodEnoughScheduler::set_targets(server::Core& core, Mode mode) {
+  std::vector<workload::Job*> jobs = edf_queue(core);
+  if (jobs.empty()) {
+    return;
+  }
+  if (mode == Mode::kBq) {
+    for (workload::Job* job : jobs) {
+      job->target = job->demand;
+    }
+    return;
+  }
+  // AES: Longest-First cutting against the original demands (a running job
+  // is re-cut as if new, Sec. III-B); a target can never drop below what is
+  // already executed.
+  std::vector<double> demands(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    demands[i] = jobs[i]->demand;
+  }
+  const opt::CutResult cut =
+      opt::cut_longest_first(demands, *env_.quality_function, options_.cut_target);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i]->target = std::max(cut.targets[i], std::min(jobs[i]->executed, jobs[i]->demand));
+  }
+}
+
+double GoodEnoughScheduler::core_power_demand(server::Core& core) const {
+  const double t = env_.sim->now();
+  std::vector<opt::PlanJob> plan_jobs;
+  for (workload::Job* job : core.queue()) {
+    if (job->settled || job->deadline <= t + kTimeEps) {
+      continue;
+    }
+    const double rem = job->remaining_target();
+    if (rem <= kWorkEps) {
+      continue;
+    }
+    plan_jobs.push_back(opt::PlanJob{job, rem, job->deadline});
+  }
+  std::sort(plan_jobs.begin(), plan_jobs.end(),
+            [](const opt::PlanJob& a, const opt::PlanJob& b) {
+              if (a.deadline != b.deadline) {
+                return a.deadline < b.deadline;
+              }
+              return a.job->id < b.job->id;
+            });
+  const double speed = opt::required_speed(t, plan_jobs);
+  return core.power_model().power(speed);
+}
+
+std::vector<double> GoodEnoughScheduler::distribute_power() {
+  const double budget = env_.server->power_budget();
+  const std::size_t m = env_.server->core_count();
+  const std::size_t alive = env_.server->online_cores();
+  const power::DistributionPolicy policy = power::resolve_hybrid(
+      options_.power_policy, load_.rate(now()), options_.critical_load);
+  if (policy == power::DistributionPolicy::kEqualSharing) {
+    ++es_rounds_;
+    // Equal share over the *online* cores; offline cores draw nothing.
+    std::vector<double> caps(m, 0.0);
+    if (alive > 0) {
+      const double share = budget / static_cast<double>(alive);
+      for (std::size_t i = 0; i < m; ++i) {
+        caps[i] = env_.server->core(i).online() ? share : 0.0;
+      }
+    }
+    return caps;
+  }
+  ++wf_rounds_;
+  std::vector<double> demands(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    demands[i] = env_.server->core(i).online()
+                     ? core_power_demand(env_.server->core(i))
+                     : 0.0;
+  }
+  return power::water_filling(budget, demands);
+}
+
+void GoodEnoughScheduler::plan_core(server::Core& core, double cap_watts,
+                                    double* budget_slack) {
+  const double t = now();
+  const power::PowerModel& pm = core.power_model();
+  std::vector<opt::PlanJob> plan_jobs;
+  std::vector<workload::Job*> jobs = edf_queue(core);
+  for (workload::Job* job : jobs) {
+    if (job->deadline <= t + kTimeEps) {
+      continue;  // expired jobs were settled during cleanup
+    }
+    const double rem = job->remaining_target();
+    if (rem <= kWorkEps) {
+      continue;
+    }
+    plan_jobs.push_back(opt::PlanJob{job, rem, job->deadline});
+  }
+  const double s_cap = std::min(pm.speed_for_power(cap_watts), options_.core_speed_cap);
+  if (plan_jobs.empty() || s_cap <= 0.0) {
+    core.install_plan(opt::ExecutionPlan{}, cap_watts);
+    return;
+  }
+  const double required = opt::required_speed(t, plan_jobs);
+  if (required > s_cap * (1.0 + 1e-9)) {
+    // Quality-OPT second cut (Sec. III-E): the cap cannot meet the targets;
+    // trim them to maximise achievable quality under the cap.
+    std::vector<opt::AllocJob> alloc_jobs(plan_jobs.size());
+    for (std::size_t i = 0; i < plan_jobs.size(); ++i) {
+      alloc_jobs[i] = opt::AllocJob{plan_jobs[i].job->executed, plan_jobs[i].remaining,
+                                    plan_jobs[i].deadline};
+    }
+    const std::vector<double> extra =
+        opt::maximize_quality(t, alloc_jobs, s_cap, *env_.quality_function);
+    std::vector<opt::PlanJob> trimmed;
+    trimmed.reserve(plan_jobs.size());
+    for (std::size_t i = 0; i < plan_jobs.size(); ++i) {
+      plan_jobs[i].job->target = plan_jobs[i].job->executed + extra[i];
+      if (extra[i] > kWorkEps) {
+        trimmed.push_back(opt::PlanJob{plan_jobs[i].job, extra[i], plan_jobs[i].deadline});
+      }
+    }
+    plan_jobs = std::move(trimmed);
+  }
+  opt::ExecutionPlan plan = opt::plan_min_energy(t, plan_jobs, s_cap);
+  double cap_final = cap_watts;
+  if (options_.speed_table != nullptr && !plan.empty()) {
+    // Discrete DVFS rectification (Sec. IV-A-5): round up when the budget
+    // slack affords it, down otherwise; cores are processed lowest-cap
+    // first by the caller.
+    opt::ExecutionPlan ceiled =
+        rectify_plan(plan, *options_.speed_table,
+                     std::numeric_limits<double>::infinity());
+    const double peak = ceiled.max_power(pm);
+    if (peak <= cap_watts + *budget_slack + 1e-9) {
+      const double extra = std::max(peak - cap_watts, 0.0);
+      *budget_slack -= extra;
+      cap_final = cap_watts + extra;
+      plan = std::move(ceiled);
+    } else {
+      plan = rectify_plan(plan, *options_.speed_table, s_cap);
+    }
+  }
+  core.install_plan(std::move(plan), cap_final);
+}
+
+void GoodEnoughScheduler::schedule_round() {
+  if (in_round_) {
+    return;
+  }
+  in_round_ = true;
+  const double t = now();
+  ++rounds_;
+  account_mode_time();
+
+  // 1. Settle waiting jobs whose deadline already passed.
+  for (workload::Job* job : waiting_) {
+    if (!job->settled && job->expired(t)) {
+      settle(job);
+    }
+  }
+  std::erase_if(waiting_, [](const workload::Job* j) { return j->settled; });
+
+  // 2. Pin waiting jobs to cores (Cumulative Round-Robin over online cores).
+  if (env_.server->online_cores() > 0) {
+    assigner_.begin_batch();
+    for (workload::Job* job : waiting_) {
+      std::size_t c = assigner_.next();
+      while (!env_.server->core(c).online()) {
+        c = assigner_.next();
+      }
+      job->core = static_cast<int>(c);
+      env_.server->core(c).queue().push_back(job);
+    }
+    waiting_.clear();
+  }
+
+  // 3. Credit in-flight work, then settle expired queued jobs.
+  const std::size_t m = env_.server->core_count();
+  for (std::size_t i = 0; i < m; ++i) {
+    env_.server->core(i).advance_to(t);
+    auto queue = env_.server->core(i).queue();  // copy: settle() mutates it
+    for (workload::Job* job : queue) {
+      if (!job->settled && job->expired(t)) {
+        settle(job);
+      }
+    }
+  }
+
+  // 4. Execution mode (compensation policy) and per-core cut targets.
+  // Offline cores are skipped: their stranded jobs settle at deadline.
+  mode_ = choose_mode();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (env_.server->core(i).online()) {
+      set_targets(env_.server->core(i), mode_);
+    }
+  }
+  // Jobs that already hit their (possibly re-raised) target complete now.
+  for (std::size_t i = 0; i < m; ++i) {
+    auto queue = env_.server->core(i).queue();
+    for (workload::Job* job : queue) {
+      if (!job->settled && job->remaining_target() <= kWorkEps) {
+        settle(job);
+      }
+    }
+  }
+
+  // 5. Power caps.
+  std::vector<double> caps = distribute_power();
+  env_.server->check_caps(caps);
+
+  // 6. Per-core planning.  With a discrete ladder the paper rectifies
+  // lowest-assigned-power cores first; keep index order otherwise.
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    order[i] = i;
+  }
+  double slack = env_.server->power_budget();
+  for (double cap : caps) {
+    slack -= cap;
+  }
+  if (slack < 0.0) {
+    slack = 0.0;
+  }
+  if (options_.speed_table != nullptr) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&caps](std::size_t a, std::size_t b) { return caps[a] < caps[b]; });
+  }
+  for (std::size_t idx : order) {
+    if (env_.server->core(idx).online()) {
+      plan_core(env_.server->core(idx), caps[idx], &slack);
+    }
+  }
+  in_round_ = false;
+}
+
+}  // namespace ge::sched

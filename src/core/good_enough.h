@@ -1,0 +1,125 @@
+// The "Good Enough" (GE) scheduling engine (Sec. III).
+//
+// GE is an online batch scheduler driven by three triggering events
+// (Sec. III-E): a periodic quantum, cores going idle while work waits, and
+// the waiting queue reaching a counter threshold.  Every scheduling round:
+//
+//   1. expired waiting jobs are settled;
+//   2. waiting jobs are pinned to cores with Cumulative Round-Robin;
+//   3. the execution mode is chosen: AES (cut jobs to the good-enough level)
+//      while the monitored quality is at/above Q_GE, BQ (run everything to
+//      completion) below it -- the compensation policy of Sec. III-C;
+//   4. per-core cut targets are set (Longest-First cutting in AES);
+//   5. the power budget is split into per-core caps (Equal-Sharing below the
+//      critical load, Water-Filling above -- the hybrid policy of
+//      Sec. III-D);
+//   6. per core: if the cap cannot meet the targets, Quality-OPT trims them
+//      optimally; Energy-OPT then builds the minimal-energy speed plan,
+//      optionally rectified onto a discrete DVFS ladder, and the core runs
+//      it until the next round.
+//
+// The engine doubles as the paper's comparison algorithms through options:
+//   BE  = no cutting (always BQ) + always Water-Filling;
+//   OQ  = cut to Q_GE + 2% and never compensate;
+//   GE-no-comp, GE-forced-ES, GE-forced-WF = the Fig. 5/6/7 ablations;
+//   BE-P = BE on a calibrated (smaller) budget;
+//   BE-S = BE with a calibrated per-core speed cap.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/load_estimator.h"
+#include "core/scheduler.h"
+#include "power/discrete_speed.h"
+#include "power/distribution.h"
+
+namespace ge::sched {
+
+struct GoodEnoughOptions {
+  // Monitored quality threshold Q_GE that triggers compensation.
+  double q_ge = 0.9;
+  // AES cutting target (OQ sets q_ge + 0.02).
+  double cut_target = 0.9;
+  // false disables the AES mode entirely: every round runs BQ (Best Effort).
+  bool cutting = true;
+  // false disables the compensation policy: with cutting on, the scheduler
+  // stays in AES regardless of the monitored quality (Fig. 5 ablation).
+  bool compensation = true;
+
+  power::DistributionPolicy power_policy = power::DistributionPolicy::kHybrid;
+  // Arrival rate (req/s) separating light from heavy load for the hybrid
+  // policy.
+  double critical_load = 154.0;
+  // Trailing window of the arrival-rate estimator.
+  double load_window = 2.0;
+
+  // Triggering events (Sec. III-E / IV-B).
+  double quantum = 0.5;       // seconds
+  int counter_threshold = 8;  // waiting jobs
+
+  // Discrete DVFS ladder; nullptr = continuous speed scaling.
+  const power::DiscreteSpeedTable* speed_table = nullptr;
+
+  // Per-core speed cap in units/s (BE-S control policy); infinity = none.
+  double core_speed_cap = std::numeric_limits<double>::infinity();
+
+  // Plain (non-cumulative) round-robin assignment, for the C-RR ablation.
+  bool cumulative_rr = true;
+};
+
+class GoodEnoughScheduler : public Scheduler {
+ public:
+  enum class Mode { kAes, kBq };
+
+  GoodEnoughScheduler(SchedulerEnv env, GoodEnoughOptions options,
+                      std::string name = "GE");
+
+  void start() override;
+  void on_job_arrival(workload::Job* job) override;
+  void on_core_idle(int core_id) override;
+  void on_deadline(workload::Job* job) override;
+  void finish() override;
+
+  double aes_time(double now) const override;
+  double bq_time(double now) const override;
+  std::size_t backlog() const override { return waiting_.size(); }
+
+  Mode mode() const noexcept { return mode_; }
+  const GoodEnoughOptions& options() const noexcept { return options_; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  // Rounds that used Water-Filling vs Equal-Sharing (hybrid diagnostics).
+  std::uint64_t wf_rounds() const noexcept { return wf_rounds_; }
+  std::uint64_t es_rounds() const noexcept { return es_rounds_; }
+
+ private:
+  void schedule_round();
+  void account_mode_time();
+  Mode choose_mode() const;
+  // Sets job->target for every open job on the core according to the mode.
+  void set_targets(server::Core& core, Mode mode);
+  // Per-core power demand (W) to finish its remaining targets by deadline.
+  double core_power_demand(server::Core& core) const;
+  std::vector<double> distribute_power();
+  void plan_core(server::Core& core, double cap_watts, double* budget_slack);
+  void arm_quantum();
+
+  GoodEnoughOptions options_;
+  CumulativeRoundRobin assigner_;
+  LoadEstimator load_;
+  std::vector<workload::Job*> waiting_;
+
+  Mode mode_ = Mode::kAes;
+  double mode_accounted_until_ = 0.0;
+  double aes_time_ = 0.0;
+  double bq_time_ = 0.0;
+
+  std::uint64_t rounds_ = 0;
+  std::uint64_t wf_rounds_ = 0;
+  std::uint64_t es_rounds_ = 0;
+  bool in_round_ = false;
+  sim::EventId quantum_event_ = sim::kInvalidEventId;
+};
+
+}  // namespace ge::sched

@@ -1,0 +1,30 @@
+#include "core/load_estimator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ge::sched {
+
+LoadEstimator::LoadEstimator(double window_seconds) : window_(window_seconds) {
+  GE_CHECK(window_seconds > 0.0, "estimator window must be positive");
+}
+
+void LoadEstimator::record_arrival(double t) {
+  GE_CHECK(arrivals_.empty() || t >= arrivals_.back(),
+           "arrivals must be recorded in time order");
+  arrivals_.push_back(t);
+}
+
+double LoadEstimator::rate(double now) {
+  while (!arrivals_.empty() && arrivals_.front() < now - window_) {
+    arrivals_.pop_front();
+  }
+  // Shrink the window at the start of the run so the estimate is not
+  // biased low before `window_` seconds have elapsed; the 50 ms floor keeps
+  // the very first arrivals from producing huge rates.
+  const double effective = std::min(window_, std::max(now, 0.05));
+  return static_cast<double>(arrivals_.size()) / effective;
+}
+
+}  // namespace ge::sched

@@ -1,0 +1,31 @@
+// Sliding-window arrival-rate estimator.
+//
+// The hybrid power-distribution policy (Sec. III-D) switches between
+// Equal-Sharing and Water-Filling by comparing the *current workload*
+// against the critical load (154 req/s in the paper's setup).  The
+// estimator counts arrivals over a short trailing window; early in the run
+// the window is shortened to the elapsed time so the estimate is unbiased
+// from the first second.
+#pragma once
+
+#include <deque>
+
+namespace ge::sched {
+
+class LoadEstimator {
+ public:
+  explicit LoadEstimator(double window_seconds);
+
+  void record_arrival(double t);
+
+  // Arrivals per second over the trailing window at time `now`.
+  double rate(double now);
+
+  double window() const noexcept { return window_; }
+
+ private:
+  double window_;
+  std::deque<double> arrivals_;
+};
+
+}  // namespace ge::sched

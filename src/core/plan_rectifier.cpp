@@ -1,0 +1,44 @@
+#include "core/plan_rectifier.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "workload/job.h"
+
+namespace ge::sched {
+
+opt::ExecutionPlan rectify_plan(const opt::ExecutionPlan& plan,
+                                const power::DiscreteSpeedTable& table,
+                                double ceil_speed_limit) {
+  opt::ExecutionPlan out;
+  if (plan.empty()) {
+    return out;
+  }
+  out.segments.reserve(plan.segments.size());
+  double t = plan.segments.front().start;
+  for (const opt::PlanSegment& seg : plan.segments) {
+    GE_CHECK(seg.speed > 0.0, "segment speed must be positive");
+    double speed = table.ceil(seg.speed);
+    if (speed > ceil_speed_limit + 1e-9) {
+      speed = table.floor(std::min(seg.speed, ceil_speed_limit));
+    }
+    if (speed <= 0.0) {
+      continue;  // below the lowest operating point: cannot run this work
+    }
+    const double deadline = seg.job->deadline;
+    if (t >= deadline - 1e-12) {
+      continue;  // rounding down earlier segments consumed this job's window
+    }
+    double units = seg.units;
+    double end = t + units / speed;
+    if (end > deadline) {
+      end = deadline;
+      units = speed * (end - t);
+    }
+    out.segments.push_back(opt::PlanSegment{seg.job, t, end, speed, units});
+    t = end;
+  }
+  return out;
+}
+
+}  // namespace ge::sched

@@ -1,0 +1,28 @@
+// Discrete-DVFS plan rectification (Sec. IV-A-5).
+//
+// Continuous Energy-OPT plans pick arbitrary speeds; a real core only offers
+// the operating points in a DiscreteSpeedTable.  The paper's rule: starting
+// from the core with the lowest assigned power, round each chosen speed up
+// to the closest discrete level subject to the total power budget, and fall
+// back to the next lower level when the budget cannot support the higher
+// one.  rectify_plan implements the per-core half of that rule; the GE
+// scheduler supplies `ceil_speed_limit` per core from the budget slack it is
+// tracking across cores.
+#pragma once
+
+#include "opt/plan.h"
+#include "power/discrete_speed.h"
+
+namespace ge::sched {
+
+// Rebuilds `plan` on the discrete ladder.  Each segment's speed is rounded
+// up to the next level when that level is <= ceil_speed_limit, and down
+// otherwise.  The timeline is re-packed sequentially from the original start
+// time; segments are clipped at their job's deadline (rounding down can lose
+// work -- exactly the quality loss Fig. 12a reports) and dropped when no
+// time or no positive level remains.
+opt::ExecutionPlan rectify_plan(const opt::ExecutionPlan& plan,
+                                const power::DiscreteSpeedTable& table,
+                                double ceil_speed_limit);
+
+}  // namespace ge::sched

@@ -1,0 +1,153 @@
+#include "core/queue_policy.h"
+
+#include <algorithm>
+
+#include "core/plan_rectifier.h"
+#include "util/check.h"
+
+namespace ge::sched {
+namespace {
+
+constexpr double kWorkEps = 1e-6;
+constexpr double kTimeEps = 1e-9;
+
+std::string scheduler_name(QueueOrder order) { return to_string(order); }
+
+}  // namespace
+
+const char* to_string(QueueOrder order) noexcept {
+  switch (order) {
+    case QueueOrder::kFcfs:
+      return "FCFS";
+    case QueueOrder::kFdfs:
+      return "FDFS";
+    case QueueOrder::kLjf:
+      return "LJF";
+    case QueueOrder::kSjf:
+      return "SJF";
+  }
+  return "unknown";
+}
+
+QueuePolicyScheduler::QueuePolicyScheduler(SchedulerEnv env, QueuePolicyOptions options)
+    : Scheduler(env, scheduler_name(options.order)),
+      options_(options),
+      core_cap_watts_(env.server->power_budget() /
+                      static_cast<double>(env.server->core_count())) {}
+
+void QueuePolicyScheduler::on_job_arrival(workload::Job* job) {
+  waiting_.push_back(job);
+  dispatch();
+}
+
+void QueuePolicyScheduler::on_core_idle(int core_id) {
+  (void)core_id;
+  dispatch();
+}
+
+void QueuePolicyScheduler::on_deadline(workload::Job* job) {
+  if (!job->settled) {
+    std::erase(waiting_, job);
+    settle(job);
+  }
+  dispatch();
+}
+
+void QueuePolicyScheduler::finish() {
+  for (workload::Job* job : waiting_) {
+    if (!job->settled) {
+      settle(job);
+    }
+  }
+  waiting_.clear();
+  for (std::size_t i = 0; i < env_.server->core_count(); ++i) {
+    auto queue = env_.server->core(i).queue();  // copy: settle() mutates it
+    for (workload::Job* job : queue) {
+      if (!job->settled) {
+        settle(job);
+      }
+    }
+  }
+}
+
+std::size_t QueuePolicyScheduler::pick() const {
+  GE_CHECK(!waiting_.empty(), "pick() on empty queue");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < waiting_.size(); ++i) {
+    const workload::Job* a = waiting_[i];
+    const workload::Job* b = waiting_[best];
+    bool better = false;
+    switch (options_.order) {
+      case QueueOrder::kFcfs:
+        better = a->arrival < b->arrival;
+        break;
+      case QueueOrder::kFdfs:
+        better = a->deadline < b->deadline;
+        break;
+      case QueueOrder::kLjf:
+        better = a->demand > b->demand;
+        break;
+      case QueueOrder::kSjf:
+        better = a->demand < b->demand;
+        break;
+    }
+    if (better) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void QueuePolicyScheduler::run_on_core(workload::Job* job, server::Core& core) {
+  const double t = now();
+  job->core = core.id();
+  core.queue().push_back(job);
+  job->target = job->demand;
+  const double window = job->deadline - t;
+  GE_CHECK(window > kTimeEps, "dispatching an expired job");
+  const power::PowerModel& pm = core.power_model();
+  const double cap_speed = pm.speed_for_power(core_cap_watts_);
+  // Slowest speed that completes by the deadline; if the cap binds, run at
+  // the cap until the deadline and answer with a partial result.
+  double speed = job->remaining_demand() / window;
+  double units = job->remaining_demand();
+  if (speed > cap_speed) {
+    speed = cap_speed;
+    units = speed * window;
+  }
+  opt::ExecutionPlan plan;
+  if (units > kWorkEps && speed > 0.0) {
+    plan.segments.push_back(
+        opt::PlanSegment{job, t, t + units / speed, speed, units});
+    if (options_.speed_table != nullptr) {
+      plan = rectify_plan(plan, *options_.speed_table, cap_speed);
+    }
+  }
+  core.install_plan(std::move(plan), core_cap_watts_);
+}
+
+void QueuePolicyScheduler::dispatch() {
+  const double t = now();
+  for (;;) {
+    // Discard jobs that expired while queued.
+    for (workload::Job* job : waiting_) {
+      if (!job->settled && job->expired(t)) {
+        settle(job);
+      }
+    }
+    std::erase_if(waiting_, [](const workload::Job* j) { return j->settled; });
+    if (waiting_.empty()) {
+      return;
+    }
+    const int idle = env_.server->find_idle_core(t);
+    if (idle < 0) {
+      return;
+    }
+    const std::size_t choice = pick();
+    workload::Job* job = waiting_[choice];
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(choice));
+    run_on_core(job, env_.server->core(static_cast<std::size_t>(idle)));
+  }
+}
+
+}  // namespace ge::sched

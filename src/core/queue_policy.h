@@ -1,0 +1,57 @@
+// Single-job queueing baselines: FCFS, FDFS, LJF, SJF (Sec. IV-A-1).
+//
+// These algorithms are triggered whenever a core becomes idle: one job is
+// picked from the waiting queue -- by earliest release (FCFS), earliest
+// deadline (FDFS), largest demand (LJF) or smallest demand (SJF) -- and
+// runs alone on the core at the slowest speed that finishes by its
+// deadline.  The power distribution is Equal-Sharing: each core may draw at
+// most H/m; when that cap cannot complete the job it runs at the capped
+// speed until the deadline and returns a partial result.  Jobs that expire
+// while queued are discarded (quality 0).
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.h"
+#include "power/discrete_speed.h"
+
+namespace ge::sched {
+
+enum class QueueOrder {
+  kFcfs,  // earliest release time first
+  kFdfs,  // earliest deadline first
+  kLjf,   // largest service demand first
+  kSjf,   // smallest service demand first
+};
+
+const char* to_string(QueueOrder order) noexcept;
+
+struct QueuePolicyOptions {
+  QueueOrder order = QueueOrder::kFcfs;
+  // Optional discrete DVFS ladder (ceil within the per-core cap, else floor).
+  const power::DiscreteSpeedTable* speed_table = nullptr;
+};
+
+class QueuePolicyScheduler : public Scheduler {
+ public:
+  QueuePolicyScheduler(SchedulerEnv env, QueuePolicyOptions options);
+
+  void on_job_arrival(workload::Job* job) override;
+  void on_core_idle(int core_id) override;
+  void on_deadline(workload::Job* job) override;
+  void finish() override;
+  std::size_t backlog() const override { return waiting_.size(); }
+
+ private:
+  // Assigns queued jobs to idle cores until one side runs out.
+  void dispatch();
+  // Index of the next job to run according to the policy order.
+  std::size_t pick() const;
+  void run_on_core(workload::Job* job, server::Core& core);
+
+  QueuePolicyOptions options_;
+  std::vector<workload::Job*> waiting_;
+  double core_cap_watts_;  // H / m (Equal-Sharing)
+};
+
+}  // namespace ge::sched

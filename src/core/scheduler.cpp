@@ -1,0 +1,38 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ge::sched {
+
+Scheduler::Scheduler(SchedulerEnv env, std::string name)
+    : env_(env), name_(std::move(name)) {
+  GE_CHECK(env_.valid(), "scheduler environment is incomplete");
+}
+
+void Scheduler::on_job_finished(workload::Job* job) { settle(job); }
+
+void Scheduler::on_deadline(workload::Job* job) {
+  if (!job->settled) {
+    settle(job);
+  }
+}
+
+void Scheduler::settle(workload::Job* job) {
+  if (job->settled) {
+    return;
+  }
+  if (job->assigned()) {
+    env_.server->core(static_cast<std::size_t>(job->core))
+        .remove_job(job, env_.sim->now());
+  }
+  job->settled = true;
+  // The response leaves the system now, but never conceptually later than
+  // the deadline (lazy settlement of expired jobs happens at the next
+  // scheduling round).
+  job->finish_time = std::min(env_.sim->now(), job->deadline);
+  env_.monitor->settle(job->executed, job->demand);
+}
+
+}  // namespace ge::sched

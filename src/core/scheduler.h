@@ -1,0 +1,85 @@
+// Scheduler interface: the contract between the simulation runner and a
+// scheduling algorithm.
+//
+// The runner feeds the scheduler three kinds of stimuli -- job arrivals,
+// idle-core notifications, and per-job deadline expirations -- and the
+// scheduler reacts by pinning jobs to cores and installing execution plans.
+// Settlement (freezing a job's quality contribution once it completes or
+// expires) lives in the base class so every algorithm accounts quality
+// identically.
+#pragma once
+
+#include <string>
+
+#include "quality/quality_function.h"
+#include "quality/quality_monitor.h"
+#include "server/multicore_server.h"
+#include "sim/simulator.h"
+#include "workload/job.h"
+
+namespace ge::sched {
+
+struct SchedulerEnv {
+  sim::Simulator* sim = nullptr;
+  server::MulticoreServer* server = nullptr;
+  const quality::QualityFunction* quality_function = nullptr;
+  quality::QualityMonitor* monitor = nullptr;
+
+  bool valid() const noexcept {
+    return sim && server && quality_function && monitor;
+  }
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerEnv env, std::string name);
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Called once before the first arrival (arm periodic triggers here).
+  virtual void start() {}
+
+  // A new request entered the system.
+  virtual void on_job_arrival(workload::Job* job) = 0;
+
+  // A core drained its plan.
+  virtual void on_core_idle(int core_id) { (void)core_id; }
+
+  // A core finished a plan segment: the job received all the work the
+  // current plan intended for it.  Default: settle it.
+  virtual void on_job_finished(workload::Job* job);
+
+  // The job's deadline passed.  Default: settle it as-is (partial or zero
+  // quality) if still open.
+  virtual void on_deadline(workload::Job* job);
+
+  // End of run: settle anything still open.  Runners call this after the
+  // drain period; with per-job deadline events it is normally a no-op.
+  virtual void finish() {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  // Time spent in the AES / BQ execution modes (Fig. 1).  Algorithms
+  // without a mode concept report zero for both.
+  virtual double aes_time(double now) const { (void)now; return 0.0; }
+  virtual double bq_time(double now) const { (void)now; return 0.0; }
+
+  // Jobs waiting for assignment (timeline observability).
+  virtual std::size_t backlog() const { return 0; }
+
+ protected:
+  // Freezes the job's quality contribution and detaches it from its core.
+  // Idempotent.
+  void settle(workload::Job* job);
+
+  double now() const noexcept { return env_.sim->now(); }
+
+  SchedulerEnv env_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ge::sched

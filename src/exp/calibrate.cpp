@@ -1,0 +1,62 @@
+#include "exp/calibrate.h"
+
+#include "exp/runner.h"
+#include "util/check.h"
+
+namespace ge::exp {
+namespace {
+
+template <typename MakeSpec>
+CalibrationResult bisect(const ExperimentConfig& cfg, double lo, double hi,
+                         int iterations, MakeSpec make_spec) {
+  GE_CHECK(lo < hi, "invalid calibration bracket");
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  CalibrationResult result;
+  auto quality_at = [&](double value) {
+    ++result.evaluations;
+    return run_simulation(cfg, make_spec(value), trace).quality;
+  };
+  // If the upper end cannot reach the target, return it (best effort).
+  double hi_quality = quality_at(hi);
+  if (hi_quality < cfg.q_ge) {
+    result.value = hi;
+    result.quality = hi_quality;
+    return result;
+  }
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (quality_at(mid) >= cfg.q_ge) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.value = hi;
+  result.quality = quality_at(hi);
+  return result;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_budget_scale(const ExperimentConfig& cfg, double lo,
+                                         double hi, int iterations) {
+  return bisect(cfg, lo, hi, iterations, [](double scale) {
+    SchedulerSpec spec;
+    spec.algo = Algorithm::kBeP;
+    spec.budget_scale = scale;
+    return spec;
+  });
+}
+
+CalibrationResult calibrate_speed_cap(const ExperimentConfig& cfg, double lo_ghz,
+                                      double hi_ghz, int iterations) {
+  return bisect(cfg, lo_ghz, hi_ghz, iterations, [](double ghz) {
+    SchedulerSpec spec;
+    spec.algo = Algorithm::kBeS;
+    spec.speed_cap_ghz = ghz;
+    return spec;
+  });
+}
+
+}  // namespace ge::exp

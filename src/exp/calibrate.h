@@ -1,0 +1,33 @@
+// Calibration of the Fig. 8 control policies.
+//
+// The paper's power control policy (BE-P) "employs the least power budget
+// which can complete the quality guarantee of the jobs", and the speed
+// control policy (BE-S) the minimum speed cap.  Both are found offline by
+// bisection: run BE at a reference arrival rate, shrink the knob until the
+// achieved quality just reaches Q_GE.  The calibrated knob is then held
+// fixed across the sweep, which is what produces the characteristic Fig. 8
+// shape (quality sagging below Q_GE once the load exceeds the calibration
+// point, while GE's online compensation holds the line).
+#pragma once
+
+#include "exp/config.h"
+#include "exp/scheduler_spec.h"
+
+namespace ge::exp {
+
+struct CalibrationResult {
+  double value = 0.0;    // budget scale or speed cap (GHz)
+  double quality = 0.0;  // quality achieved at the calibration point
+  int evaluations = 0;
+};
+
+// Smallest budget scale in [lo, hi] whose BE run achieves cfg.q_ge at
+// cfg.arrival_rate.  Returns hi if even the full budget falls short.
+CalibrationResult calibrate_budget_scale(const ExperimentConfig& cfg, double lo = 0.05,
+                                         double hi = 1.0, int iterations = 12);
+
+// Smallest per-core speed cap (GHz) whose BE run achieves cfg.q_ge.
+CalibrationResult calibrate_speed_cap(const ExperimentConfig& cfg, double lo_ghz = 0.2,
+                                      double hi_ghz = 4.0, int iterations = 12);
+
+}  // namespace ge::exp

@@ -1,0 +1,109 @@
+#include "exp/config.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "workload/distributions.h"
+
+namespace ge::exp {
+
+const char* to_string(QualityFamily family) noexcept {
+  switch (family) {
+    case QualityFamily::kExponential:
+      return "exponential";
+    case QualityFamily::kLinear:
+      return "linear";
+    case QualityFamily::kPowerLaw:
+      return "power-law";
+  }
+  return "unknown";
+}
+
+ExperimentConfig ExperimentConfig::paper_defaults() { return ExperimentConfig{}; }
+
+void ExperimentConfig::validate() const {
+  GE_CHECK(cores > 0, "config: need at least one core");
+  GE_CHECK(power_budget > 0.0, "config: power budget must be positive");
+  GE_CHECK(power_a > 0.0 && power_beta > 1.0, "config: invalid power model");
+  GE_CHECK(units_per_ghz > 0.0, "config: units_per_ghz must be positive");
+  GE_CHECK(quality_c > 0.0, "config: quality parameter must be positive");
+  GE_CHECK(quality_family != QualityFamily::kPowerLaw || quality_c < 1.0,
+           "config: power-law exponent must be in (0,1)");
+  GE_CHECK(arrival_rate > 0.0, "config: arrival rate must be positive");
+  GE_CHECK(demand_alpha > 0.0 && demand_min > 0.0 && demand_max > demand_min,
+           "config: invalid demand distribution");
+  GE_CHECK(deadline_interval > 0.0 && deadline_interval_max >= deadline_interval,
+           "config: invalid deadline window");
+  GE_CHECK(burst_peak_to_mean >= 1.0, "config: burst ratio must be >= 1");
+  GE_CHECK(q_ge >= 0.0 && q_ge <= 1.0, "config: Q_GE must be in [0,1]");
+  GE_CHECK(quantum > 0.0 && counter_threshold > 0, "config: invalid triggers");
+  GE_CHECK(load_window > 0.0, "config: load window must be positive");
+  GE_CHECK(!discrete_speeds ||
+               (discrete_step_ghz > 0.0 && discrete_max_ghz >= discrete_step_ghz),
+           "config: invalid discrete speed ladder");
+  GE_CHECK(static_power_per_core >= 0.0, "config: negative static power");
+  GE_CHECK(hetero_spread >= 1.0, "config: hetero spread must be >= 1");
+  GE_CHECK(failure_cores <= cores, "config: cannot fail more cores than exist");
+  GE_CHECK(duration > 0.0, "config: duration must be positive");
+}
+
+std::unique_ptr<quality::QualityFunction> ExperimentConfig::make_quality_function()
+    const {
+  switch (quality_family) {
+    case QualityFamily::kLinear:
+      return std::make_unique<quality::LinearQuality>(demand_max);
+    case QualityFamily::kPowerLaw:
+      return std::make_unique<quality::PowerLawQuality>(quality_c, demand_max);
+    case QualityFamily::kExponential:
+      break;
+  }
+  return std::make_unique<quality::ExponentialQuality>(quality_c, demand_max);
+}
+
+workload::WorkloadSpec ExperimentConfig::workload_spec() const {
+  workload::WorkloadSpec spec;
+  spec.arrival_rate = arrival_rate;
+  spec.pareto_alpha = demand_alpha;
+  spec.demand_min = demand_min;
+  spec.demand_max = demand_max;
+  spec.deadline_interval = deadline_interval;
+  spec.deadline_interval_max = deadline_interval_max;
+  spec.burst_peak_to_mean = burst_peak_to_mean;
+  spec.burst_fraction = burst_fraction;
+  spec.burst_dwell = burst_dwell;
+  spec.seed = seed;
+  return spec;
+}
+
+power::PowerModel ExperimentConfig::power_model() const {
+  return power::PowerModel(power_a, power_beta, units_per_ghz);
+}
+
+std::vector<power::PowerModel> ExperimentConfig::core_power_models() const {
+  std::vector<power::PowerModel> models;
+  models.reserve(cores);
+  for (std::size_t i = 0; i < cores; ++i) {
+    const double frac =
+        cores > 1 ? static_cast<double>(i) / static_cast<double>(cores - 1) : 0.0;
+    const double a = power_a * (1.0 + (hetero_spread - 1.0) * frac);
+    models.emplace_back(a, power_beta, units_per_ghz);
+  }
+  return models;
+}
+
+double ExperimentConfig::mean_demand() const {
+  return workload::BoundedParetoDistribution(demand_alpha, demand_min, demand_max)
+      .mean();
+}
+
+double ExperimentConfig::nominal_capacity() const {
+  const power::PowerModel pm = power_model();
+  const double per_core_watts = power_budget / static_cast<double>(cores);
+  return static_cast<double>(cores) * pm.speed_for_power(per_core_watts);
+}
+
+double ExperimentConfig::saturation_rate() const {
+  return nominal_capacity() / mean_demand();
+}
+
+}  // namespace ge::exp

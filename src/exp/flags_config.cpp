@@ -1,0 +1,64 @@
+#include "exp/flags_config.h"
+
+#include "util/check.h"
+
+namespace ge::exp {
+
+ExperimentConfig apply_flags(ExperimentConfig cfg, const util::Flags& flags) {
+  cfg.arrival_rate = flags.get_double("rate", cfg.arrival_rate);
+  cfg.duration = flags.get_double("seconds", cfg.duration);
+  cfg.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.cores = static_cast<std::size_t>(
+      flags.get_int("cores", static_cast<std::int64_t>(cfg.cores)));
+  cfg.power_budget = flags.get_double("budget", cfg.power_budget);
+  cfg.q_ge = flags.get_double("qge", cfg.q_ge);
+
+  const std::string family = flags.get_string("quality-family", "");
+  if (family == "linear") {
+    cfg.quality_family = QualityFamily::kLinear;
+  } else if (family == "powerlaw") {
+    cfg.quality_family = QualityFamily::kPowerLaw;
+  } else if (family == "exponential") {
+    cfg.quality_family = QualityFamily::kExponential;
+  } else {
+    GE_CHECK(family.empty(), "unknown quality family: " + family);
+  }
+  cfg.quality_c = flags.get_double("quality-c", cfg.quality_c);
+
+  cfg.demand_alpha = flags.get_double("alpha", cfg.demand_alpha);
+  cfg.demand_min = flags.get_double("xmin", cfg.demand_min);
+  cfg.demand_max = flags.get_double("xmax", cfg.demand_max);
+
+  // Deadlines are given in milliseconds on the command line.
+  cfg.deadline_interval =
+      flags.get_double("deadline", cfg.deadline_interval * 1000.0) / 1000.0;
+  cfg.deadline_interval_max = std::max(
+      cfg.deadline_interval,
+      flags.get_double("deadline-max", cfg.deadline_interval_max * 1000.0) / 1000.0);
+
+  cfg.burst_peak_to_mean = flags.get_double("burst", cfg.burst_peak_to_mean);
+  cfg.burst_fraction = flags.get_double("burst-fraction", cfg.burst_fraction);
+  cfg.burst_dwell = flags.get_double("burst-dwell", cfg.burst_dwell);
+
+  cfg.quantum = flags.get_double("quantum", cfg.quantum);
+  cfg.counter_threshold = static_cast<int>(
+      flags.get_int("counter", cfg.counter_threshold));
+  cfg.critical_load = flags.get_double("critical-load", cfg.critical_load);
+  cfg.load_window = flags.get_double("load-window", cfg.load_window);
+  cfg.monitor_window = static_cast<std::size_t>(
+      flags.get_int("monitor-window", static_cast<std::int64_t>(cfg.monitor_window)));
+
+  cfg.discrete_speeds = flags.get_bool("discrete", cfg.discrete_speeds);
+  cfg.discrete_step_ghz = flags.get_double("step-ghz", cfg.discrete_step_ghz);
+  cfg.discrete_max_ghz = flags.get_double("max-ghz", cfg.discrete_max_ghz);
+
+  cfg.static_power_per_core = flags.get_double("static-power", cfg.static_power_per_core);
+  cfg.hetero_spread = flags.get_double("hetero-spread", cfg.hetero_spread);
+  cfg.failure_time = flags.get_double("failure-time", cfg.failure_time);
+  cfg.failure_cores = static_cast<std::size_t>(
+      flags.get_int("failure-cores", static_cast<std::int64_t>(cfg.failure_cores)));
+  return cfg;
+}
+
+}  // namespace ge::exp

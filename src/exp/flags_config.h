@@ -1,0 +1,22 @@
+// Command-line binding for ExperimentConfig: every field of the experiment
+// configuration is overridable with a --flag, shared by the sweep tool and
+// available to downstream binaries.
+#pragma once
+
+#include "exp/config.h"
+#include "util/flags.h"
+
+namespace ge::exp {
+
+// Applies recognised flags onto `cfg` (unrecognised flags are ignored):
+//   --rate R --seconds S --seed N --cores M --budget W --qge Q
+//   --quality-family exponential|linear|powerlaw --quality-c C
+//   --alpha A --xmin X --xmax X
+//   --deadline MS --deadline-max MS
+//   --burst RATIO --burst-fraction F --burst-dwell S
+//   --quantum S --counter N --critical-load R --load-window S
+//   --monitor-window N --discrete [--step-ghz G --max-ghz G]
+//   --static-power W --failure-time S --failure-cores K --hetero-spread X
+ExperimentConfig apply_flags(ExperimentConfig cfg, const util::Flags& flags);
+
+}  // namespace ge::exp

@@ -1,0 +1,59 @@
+#include "exp/offline_reference.h"
+
+#include <cmath>
+#include <vector>
+
+#include "opt/job_cutter.h"
+#include "opt/yds.h"
+#include "util/check.h"
+
+namespace ge::exp {
+
+OfflineReference offline_reference(const workload::Trace& trace, double q_target,
+                                   const ExperimentConfig& cfg) {
+  OfflineReference ref;
+  if (trace.empty()) {
+    ref.within_budget = true;
+    return ref;
+  }
+  const auto f = cfg.make_quality_function();
+
+  // 1. Global Longest-First cut across the whole trace.
+  std::vector<double> demands;
+  demands.reserve(trace.size());
+  for (const workload::Job& job : trace.jobs()) {
+    demands.push_back(job.demand);
+  }
+  const opt::CutResult cut = opt::cut_longest_first(demands, *f, q_target);
+  ref.cut_level = cut.level;
+  ref.quality = cut.quality;
+
+  // 2. Fluid m-core machine: splitting total speed s evenly is optimal by
+  // convexity, so P_m(s) = m * a * (s/m)^beta = (a * m^{1-beta}) * s^beta.
+  const double m = static_cast<double>(cfg.cores);
+  const power::PowerModel fluid(cfg.power_a * std::pow(m, 1.0 - cfg.power_beta),
+                                cfg.power_beta, cfg.units_per_ghz);
+
+  // 3. Preemptive YDS with true release times on the cut workload.
+  std::vector<opt::YdsJob> yds_jobs;
+  yds_jobs.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const workload::Job& job = trace.jobs()[i];
+    const double work = cut.targets[i];
+    if (work <= 1e-9) {
+      continue;
+    }
+    ref.total_work += work;
+    yds_jobs.push_back(opt::YdsJob{job.arrival, job.deadline, work});
+  }
+  const opt::YdsSchedule schedule = opt::yds_schedule(yds_jobs);
+  GE_CHECK(std::abs(schedule.total_work() - ref.total_work) <=
+               1e-6 * (1.0 + ref.total_work),
+           "YDS schedule lost work");
+  ref.energy = schedule.energy(fluid);
+  ref.peak_power = fluid.power(schedule.max_speed());
+  ref.within_budget = ref.peak_power <= cfg.power_budget * (1.0 + 1e-9);
+  return ref;
+}
+
+}  // namespace ge::exp

@@ -1,0 +1,25 @@
+#include "exp/replicate.h"
+
+#include "exp/runner.h"
+#include "util/check.h"
+
+namespace ge::exp {
+
+ReplicationSummary replicate(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                             int replicas) {
+  GE_CHECK(replicas > 0, "need at least one replica");
+  ReplicationSummary summary;
+  summary.replicas = replicas;
+  for (int i = 0; i < replicas; ++i) {
+    ExperimentConfig run_cfg = cfg;
+    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    const RunResult r = run_simulation(run_cfg, spec);
+    summary.quality.add(r.quality);
+    summary.energy.add(r.energy);
+    summary.aes_fraction.add(r.aes_fraction);
+    summary.p99_response_ms.add(r.p99_response_ms);
+  }
+  return summary;
+}
+
+}  // namespace ge::exp

@@ -1,0 +1,24 @@
+// Multi-seed replication: run the same experiment over n independent seeds
+// and summarise the headline metrics with mean / stddev / extremes.  Used
+// to put confidence behind the single-seed figure reproductions.
+#pragma once
+
+#include "exp/config.h"
+#include "exp/scheduler_spec.h"
+#include "util/stats.h"
+
+namespace ge::exp {
+
+struct ReplicationSummary {
+  int replicas = 0;
+  util::RunningStats quality;
+  util::RunningStats energy;
+  util::RunningStats aes_fraction;
+  util::RunningStats p99_response_ms;
+};
+
+// Runs `replicas` simulations with seeds base_seed, base_seed+1, ...
+ReplicationSummary replicate(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                             int replicas);
+
+}  // namespace ge::exp

@@ -1,0 +1,79 @@
+#include "exp/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ge::exp {
+namespace {
+
+void json_field(std::ostringstream& os, const char* key, double value,
+                bool* first) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  os << (*first ? "" : ", ") << '"' << key << "\": " << buf;
+  *first = false;
+}
+
+void json_field(std::ostringstream& os, const char* key, std::uint64_t value,
+                bool* first) {
+  os << (*first ? "" : ", ") << '"' << key << "\": " << value;
+  *first = false;
+}
+
+}  // namespace
+
+std::string summarize(const RunResult& r, const ExperimentConfig& cfg) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "scheduler      : %s\n"
+      "workload       : %.0f req/s for %.0f s (%llu requests)\n"
+      "quality        : %.4f (target Q_GE = %.2f)\n"
+      "energy         : %.1f J dynamic (%.1f W avg, budget %.0f W)\n"
+      "outcomes       : %llu completed, %llu partial, %llu dropped\n"
+      "AES-mode share : %.1f%%\n"
+      "response (ms)  : mean %.1f, p50 %.1f, p95 %.1f, p99 %.1f\n"
+      "busy speed     : %.2f GHz mean, %.4f GHz^2 variance\n",
+      r.scheduler.c_str(), r.arrival_rate, r.duration,
+      static_cast<unsigned long long>(r.released), r.quality, cfg.q_ge, r.energy,
+      r.avg_power, cfg.power_budget, static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.partial),
+      static_cast<unsigned long long>(r.dropped), r.aes_fraction * 100.0,
+      r.mean_response_ms, r.p50_response_ms, r.p95_response_ms, r.p99_response_ms,
+      r.avg_speed_ghz, r.speed_variance);
+  return buf;
+}
+
+std::string to_json(const RunResult& r) {
+  std::ostringstream os;
+  bool first = true;
+  os << '{';
+  os << "\"scheduler\": \"" << r.scheduler << '"';
+  first = false;
+  json_field(os, "arrival_rate", r.arrival_rate, &first);
+  json_field(os, "duration_s", r.duration, &first);
+  json_field(os, "quality", r.quality, &first);
+  json_field(os, "energy_j", r.energy, &first);
+  json_field(os, "static_energy_j", r.static_energy, &first);
+  json_field(os, "avg_power_w", r.avg_power, &first);
+  json_field(os, "mean_response_ms", r.mean_response_ms, &first);
+  json_field(os, "p50_response_ms", r.p50_response_ms, &first);
+  json_field(os, "p95_response_ms", r.p95_response_ms, &first);
+  json_field(os, "p99_response_ms", r.p99_response_ms, &first);
+  json_field(os, "aes_fraction", r.aes_fraction, &first);
+  json_field(os, "avg_speed_ghz", r.avg_speed_ghz, &first);
+  json_field(os, "speed_variance", r.speed_variance, &first);
+  json_field(os, "busy_fraction", r.busy_fraction, &first);
+  json_field(os, "energy_cov", r.energy_cov, &first);
+  json_field(os, "released", r.released, &first);
+  json_field(os, "completed", r.completed, &first);
+  json_field(os, "partial", r.partial, &first);
+  json_field(os, "dropped", r.dropped, &first);
+  json_field(os, "rounds", r.rounds, &first);
+  json_field(os, "wf_rounds", r.wf_rounds, &first);
+  json_field(os, "es_rounds", r.es_rounds, &first);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace ge::exp

@@ -1,0 +1,185 @@
+#include "exp/runner.h"
+
+#include "exp/timeline.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/good_enough.h"
+#include "quality/quality_function.h"
+#include "quality/quality_monitor.h"
+#include "server/multicore_server.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/quantiles.h"
+
+namespace ge::exp {
+namespace {
+
+constexpr double kCompleteTol = 1e-6;
+
+}  // namespace
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec) {
+  const workload::Trace trace = workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  return run_simulation(cfg, spec, trace);
+}
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace) {
+  return run_simulation(cfg, spec, trace, nullptr);
+}
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace, Timeline* timeline) {
+  cfg.validate();
+  sim::Simulator sim;
+  const power::PowerModel pm = cfg.power_model();
+  const double budget = effective_budget(spec, cfg);
+  server::MulticoreServer server(cfg.core_power_models(), budget, sim);
+  const std::unique_ptr<quality::QualityFunction> fp = cfg.make_quality_function();
+  const quality::QualityFunction& f = *fp;
+  quality::QualityMonitor monitor(f, cfg.monitor_window);
+
+  std::unique_ptr<power::DiscreteSpeedTable> table;
+  if (cfg.discrete_speeds) {
+    table = std::make_unique<power::DiscreteSpeedTable>(
+        power::DiscreteSpeedTable::uniform_ghz(cfg.discrete_step_ghz,
+                                               cfg.discrete_max_ghz, cfg.units_per_ghz));
+  }
+
+  sched::SchedulerEnv env;
+  env.sim = &sim;
+  env.server = &server;
+  env.quality_function = &f;
+  env.monitor = &monitor;
+  std::unique_ptr<sched::Scheduler> scheduler =
+      make_scheduler(spec, env, cfg, table.get());
+
+  for (std::size_t i = 0; i < cfg.cores; ++i) {
+    server.core(i).set_job_finished_callback(
+        [&scheduler](workload::Job* job) { scheduler->on_job_finished(job); });
+    server.core(i).set_idle_callback(
+        [&scheduler](int core_id) { scheduler->on_core_idle(core_id); });
+  }
+
+  // Private, mutable copy of the trace; addresses are stable for the run.
+  std::vector<workload::Job> jobs = trace.jobs();
+  for (workload::Job& job : jobs) {
+    sim.schedule_at(job.arrival, [&scheduler, &job] { scheduler->on_job_arrival(&job); });
+    sim.schedule_at(job.deadline, [&scheduler, &job] { scheduler->on_deadline(&job); });
+  }
+
+  if (cfg.verify_power) {
+    // Sample total power on a grid; the budget must never be exceeded.
+    const double step = 0.01;
+    for (double t = step; t < cfg.duration + cfg.deadline_interval_max; t += step) {
+      sim.schedule_at(t, [&server, &sim, budget] {
+        GE_CHECK(server.total_power(sim.now()) <= budget * (1.0 + 1e-6) + 1e-6,
+                 "total power exceeded the budget");
+      });
+    }
+  }
+
+  if (cfg.failure_time >= 0.0 && cfg.failure_cores > 0) {
+    GE_CHECK(cfg.failure_cores <= cfg.cores, "cannot fail more cores than exist");
+    sim.schedule_at(cfg.failure_time, [&server, &sim, &cfg] {
+      for (std::size_t i = cfg.cores - cfg.failure_cores; i < cfg.cores; ++i) {
+        server.core(i).set_offline(sim.now());
+      }
+    });
+  }
+
+  // Drain: all deadlines fall within duration + the widest deadline window.
+  const double horizon = cfg.duration + cfg.deadline_interval_max + 2.0 * cfg.quantum;
+
+  if (timeline != nullptr) {
+    GE_CHECK(timeline->interval > 0.0, "timeline interval must be positive");
+    auto* ge_sched = dynamic_cast<sched::GoodEnoughScheduler*>(scheduler.get());
+    for (double t = timeline->interval; t < horizon; t += timeline->interval) {
+      sim.schedule_at(t, [&server, &sim, &monitor, &scheduler, ge_sched, timeline,
+                          &cfg] {
+        TimelinePoint point;
+        point.time = sim.now();
+        point.total_power = server.total_power(point.time);
+        point.quality = monitor.quality();
+        for (std::size_t i = 0; i < cfg.cores; ++i) {
+          point.busy_cores += server.core(i).busy(point.time) ? 1 : 0;
+        }
+        point.backlog = scheduler->backlog();
+        if (ge_sched != nullptr) {
+          point.mode =
+              ge_sched->mode() == sched::GoodEnoughScheduler::Mode::kBq ? 1 : 0;
+        }
+        timeline->points.push_back(point);
+      });
+    }
+  }
+
+  scheduler->start();
+  sim.run_until(horizon);
+  scheduler->finish();
+
+  RunResult result;
+  result.scheduler = scheduler->name();
+  result.arrival_rate = cfg.arrival_rate;
+  result.duration = cfg.duration;
+
+  double achieved = 0.0;
+  double potential = 0.0;
+  util::QuantileCollector responses;
+  responses.reserve(jobs.size());
+  for (const workload::Job& job : jobs) {
+    GE_CHECK(job.settled, "job left unsettled at end of run");
+    achieved += f.value(std::min(job.executed, job.demand));
+    potential += f.value(job.demand);
+    GE_CHECK(job.finish_time >= job.arrival - 1e-9, "finish before arrival");
+    responses.add((job.finish_time - job.arrival) * 1000.0);
+    ++result.released;
+    if (job.executed >= job.demand - kCompleteTol) {
+      ++result.completed;
+    } else if (job.executed > kCompleteTol) {
+      ++result.partial;
+    } else {
+      ++result.dropped;
+    }
+  }
+  result.quality = potential > 0.0 ? achieved / potential : 1.0;
+  result.energy = server.total_energy();
+  result.static_energy =
+      cfg.static_power_per_core * static_cast<double>(cfg.cores) * horizon;
+  result.avg_power = cfg.duration > 0.0 ? result.energy / cfg.duration : 0.0;
+  if (responses.count() > 0) {
+    result.mean_response_ms = responses.mean();
+    result.p50_response_ms = responses.quantile(0.50);
+    result.p95_response_ms = responses.quantile(0.95);
+    result.p99_response_ms = responses.quantile(0.99);
+  }
+
+  const double aes = scheduler->aes_time(sim.now());
+  const double bq = scheduler->bq_time(sim.now());
+  result.aes_fraction = (aes + bq) > 0.0 ? aes / (aes + bq) : 0.0;
+
+  const util::TimeWeightedStats speed = server.aggregate_speed_stats();
+  result.avg_speed_ghz = pm.ghz(speed.mean());
+  const double ghz_scale = 1.0 / (cfg.units_per_ghz * cfg.units_per_ghz);
+  result.speed_variance = speed.variance() * ghz_scale;
+  result.busy_fraction =
+      server.total_busy_time() / (static_cast<double>(cfg.cores) * horizon);
+  util::RunningStats core_energy;
+  for (std::size_t i = 0; i < cfg.cores; ++i) {
+    core_energy.add(server.core(i).energy());
+  }
+  result.energy_cov =
+      core_energy.mean() > 0.0 ? core_energy.stddev() / core_energy.mean() : 0.0;
+
+  if (auto* ge = dynamic_cast<sched::GoodEnoughScheduler*>(scheduler.get())) {
+    result.rounds = ge->rounds();
+    result.wf_rounds = ge->wf_rounds();
+    result.es_rounds = ge->es_rounds();
+  }
+  return result;
+}
+
+}  // namespace ge::exp

@@ -1,0 +1,71 @@
+// Simulation runner: wires workload -> scheduler -> server -> metrics and
+// executes one experiment end to end.
+//
+// The workload is materialised as a Trace up front so that every scheduler
+// compared at the same sweep point sees byte-identical randomness.  The run
+// releases arrivals for `duration` seconds, drains until every released job
+// settles (each job has a deadline event, so the drain is bounded by the
+// deadline window), and then aggregates the paper's metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/config.h"
+#include "exp/scheduler_spec.h"
+#include "workload/trace.h"
+
+namespace ge::exp {
+
+struct RunResult {
+  std::string scheduler;
+  double arrival_rate = 0.0;
+  double duration = 0.0;  // arrival horizon (s)
+
+  // Paper metrics.
+  double quality = 1.0;        // sum f(c_j) / sum f(p_j) over all released jobs
+  double energy = 0.0;         // total dynamic energy (J)
+  double static_energy = 0.0;  // m * static_power_per_core * elapsed (J)
+  double avg_power = 0.0;      // dynamic energy / duration (W)
+
+  // Response-time metrics (ms): time from arrival to the response leaving
+  // the system (completion of the cut target, or the deadline).
+  double mean_response_ms = 0.0;
+  double p50_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  double p99_response_ms = 0.0;
+  double aes_fraction = 0.0;   // share of time in AES mode (Fig. 1)
+  double avg_speed_ghz = 0.0;  // time-weighted busy-core speed (Fig. 6a)
+  double speed_variance = 0.0; // time-weighted busy-speed variance (Fig. 6b)
+
+  // Outcome counts.
+  std::uint64_t released = 0;
+  std::uint64_t completed = 0;  // executed >= demand (full quality)
+  std::uint64_t partial = 0;    // 0 < executed < demand
+  std::uint64_t dropped = 0;    // executed == 0
+
+  // Scheduler diagnostics (zero for non-GE algorithms).
+  std::uint64_t rounds = 0;
+  std::uint64_t wf_rounds = 0;
+  std::uint64_t es_rounds = 0;
+
+  double busy_fraction = 0.0;  // busy core-time / (m * elapsed)
+  // Coefficient of variation of per-core energy (stddev / mean): 0 = perfect
+  // balance.  Quantifies assignment imbalance (see abl_assignment).
+  double energy_cov = 0.0;
+};
+
+// Runs the scheduler on a fresh synthetic trace derived from cfg.
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec);
+
+// Runs the scheduler on a caller-provided trace (shared across schedulers).
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace);
+
+// As above, additionally sampling a state timeline every
+// `timeline->interval` seconds into `timeline` (interval must be positive).
+struct Timeline;
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace, Timeline* timeline);
+
+}  // namespace ge::exp

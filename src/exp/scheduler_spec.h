@@ -1,0 +1,56 @@
+// Named scheduler configurations: every algorithm the paper evaluates,
+// resolvable from a string for the benchmark command lines.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/scheduler.h"
+#include "power/discrete_speed.h"
+
+namespace ge::exp {
+
+struct ExperimentConfig;
+
+enum class Algorithm {
+  kGe,        // the paper's Good Enough scheduler (hybrid ES/WF)
+  kGeNoComp,  // GE without the compensation policy (Fig. 5)
+  kGeEs,      // GE forced to Equal-Sharing (Fig. 6/7)
+  kGeWf,      // GE forced to Water-Filling (Fig. 6/7)
+  kGeRr,      // GE with plain (non-cumulative) round-robin assignment
+  kOq,        // Over-Qualified: cut to Q_GE + 2%, no compensation
+  kBe,        // Best Effort: never cut, Water-Filling
+  kBeP,       // power control: BE on a calibrated budget (Fig. 8)
+  kBeS,       // speed control: BE with a calibrated core speed cap (Fig. 8)
+  kFcfs,
+  kFdfs,
+  kLjf,
+  kSjf,
+};
+
+struct SchedulerSpec {
+  Algorithm algo = Algorithm::kGe;
+  // BE-P: multiplier on the configured power budget.
+  double budget_scale = 1.0;
+  // BE-S: per-core speed cap in GHz.
+  double speed_cap_ghz = std::numeric_limits<double>::infinity();
+
+  std::string display_name() const;
+
+  // Parses "GE", "OQ", "BE", "BE-P", "BE-S", "FCFS", "FDFS", "LJF", "SJF",
+  // "GE-NOCOMP", "GE-ES", "GE-WF" (case-insensitive).
+  static SchedulerSpec parse(const std::string& name);
+};
+
+// Effective server power budget for a spec (BE-P scales it).
+double effective_budget(const SchedulerSpec& spec, const ExperimentConfig& cfg);
+
+// Builds the scheduler.  `table` may be nullptr (continuous DVFS) and must
+// outlive the scheduler when provided.
+std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec,
+                                                 const sched::SchedulerEnv& env,
+                                                 const ExperimentConfig& cfg,
+                                                 const power::DiscreteSpeedTable* table);
+
+}  // namespace ge::exp

@@ -1,0 +1,62 @@
+#include "exp/sweep.h"
+
+#include "util/check.h"
+
+namespace ge::exp {
+
+std::vector<SweepPoint> sweep(
+    const ExperimentConfig& base, const std::vector<SchedulerSpec>& specs,
+    const std::vector<double>& xs,
+    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure) {
+  GE_CHECK(!specs.empty(), "sweep needs at least one scheduler");
+  std::vector<SweepPoint> points;
+  points.reserve(xs.size());
+  for (double x : xs) {
+    const ExperimentConfig cfg = configure(base, x);
+    const workload::Trace trace =
+        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+    SweepPoint point;
+    point.x = x;
+    point.results.reserve(specs.size());
+    for (const SchedulerSpec& spec : specs) {
+      point.results.push_back(run_simulation(cfg, spec, trace));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweep_arrival_rates(const ExperimentConfig& base,
+                                            const std::vector<SchedulerSpec>& specs,
+                                            const std::vector<double>& rates) {
+  return sweep(base, specs, rates, [](ExperimentConfig cfg, double rate) {
+    cfg.arrival_rate = rate;
+    return cfg;
+  });
+}
+
+util::Table series_table(const std::vector<SweepPoint>& points,
+                         const std::string& x_name,
+                         const std::function<double(const RunResult&)>& metric,
+                         int precision) {
+  GE_CHECK(!points.empty(), "empty sweep");
+  std::vector<std::string> header{x_name};
+  for (const RunResult& r : points.front().results) {
+    header.push_back(r.scheduler);
+  }
+  util::Table table(std::move(header));
+  for (const SweepPoint& point : points) {
+    table.begin_row();
+    table.add(point.x, 1);
+    for (const RunResult& r : point.results) {
+      table.add(metric(r), precision);
+    }
+  }
+  return table;
+}
+
+std::vector<double> paper_arrival_rates() {
+  return {100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0};
+}
+
+}  // namespace ge::exp

@@ -1,0 +1,45 @@
+// Sweep helpers shared by the figure-reproduction benchmarks: run a set of
+// schedulers across a parameter range on shared traces and render the
+// series as a table.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "util/table.h"
+
+namespace ge::exp {
+
+struct SweepPoint {
+  double x = 0.0;                  // swept parameter value
+  std::vector<RunResult> results;  // one per scheduler, input order
+};
+
+// Runs every scheduler at every arrival rate.  Schedulers at the same rate
+// share one trace, so comparisons are paired.
+std::vector<SweepPoint> sweep_arrival_rates(const ExperimentConfig& base,
+                                            const std::vector<SchedulerSpec>& specs,
+                                            const std::vector<double>& rates);
+
+// Generic sweep: `configure` maps (base config, x) to the config for that
+// point.  Schedulers at the same point share one trace.
+std::vector<SweepPoint> sweep(
+    const ExperimentConfig& base, const std::vector<SchedulerSpec>& specs,
+    const std::vector<double>& xs,
+    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure);
+
+// Renders one metric of a sweep as a table: column 0 is the swept value,
+// one column per scheduler.
+util::Table series_table(const std::vector<SweepPoint>& points,
+                         const std::string& x_name,
+                         const std::function<double(const RunResult&)>& metric,
+                         int precision = 4);
+
+// The arrival rates the paper sweeps in most figures (100..250 req/s).
+std::vector<double> paper_arrival_rates();
+
+}  // namespace ge::exp

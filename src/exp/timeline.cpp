@@ -1,0 +1,53 @@
+#include "exp/timeline.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ge::exp {
+
+std::string Timeline::to_csv() const {
+  std::ostringstream os;
+  os << "time,total_power_w,quality,busy_cores,backlog,mode\n";
+  char buf[160];
+  for (const TimelinePoint& p : points) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%.4f,%.6f,%d,%zu,%d\n", p.time,
+                  p.total_power, p.quality, p.busy_cores, p.backlog, p.mode);
+    os << buf;
+  }
+  return os.str();
+}
+
+void Timeline::save_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  GE_CHECK(out.good(), "cannot open timeline file for writing");
+  out << to_csv();
+  GE_CHECK(out.good(), "timeline write failed");
+}
+
+double Timeline::peak_power() const {
+  double peak = 0.0;
+  for (const TimelinePoint& p : points) {
+    if (p.total_power > peak) {
+      peak = p.total_power;
+    }
+  }
+  return peak;
+}
+
+double Timeline::bq_share() const {
+  std::size_t bq = 0;
+  std::size_t applicable = 0;
+  for (const TimelinePoint& p : points) {
+    if (p.mode >= 0) {
+      ++applicable;
+      bq += p.mode == 1 ? 1u : 0u;
+    }
+  }
+  return applicable > 0 ? static_cast<double>(bq) / static_cast<double>(applicable)
+                        : 0.0;
+}
+
+}  // namespace ge::exp

@@ -1,0 +1,38 @@
+// Run timeline: a sampled time series of server state over one simulation.
+//
+// Each point records instantaneous total power, the monitored quality, how
+// many cores are busy, the scheduler's backlog, and the GE execution mode.
+// Timelines make the scheduler's dynamics observable (compensation episodes,
+// ES<->WF switches, burst responses) and export to CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ge::exp {
+
+struct TimelinePoint {
+  double time = 0.0;
+  double total_power = 0.0;     // W
+  double quality = 1.0;         // monitored quality at sample time
+  int busy_cores = 0;
+  std::size_t backlog = 0;      // scheduler waiting-queue length
+  int mode = -1;                // 0 = AES, 1 = BQ, -1 = not applicable
+};
+
+struct Timeline {
+  double interval = 0.0;  // sampling period (s)
+  std::vector<TimelinePoint> points;
+
+  bool empty() const noexcept { return points.empty(); }
+  std::string to_csv() const;
+  void save_csv(const std::string& path) const;
+
+  // Highest sampled total power (useful to confirm the budget holds).
+  double peak_power() const;
+  // Share of samples in BQ mode (-1-mode samples excluded).
+  double bq_share() const;
+};
+
+}  // namespace ge::exp

@@ -1,0 +1,155 @@
+#include "opt/job_cutter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quality/quality_function.h"
+#include "util/check.h"
+
+namespace ge::opt {
+namespace {
+
+constexpr double kQualityTol = 1e-9;
+
+}  // namespace
+
+double batch_quality(std::span<const double> targets, std::span<const double> demands,
+                     const quality::QualityFunction& f) {
+  GE_CHECK(targets.size() == demands.size(), "targets/demands size mismatch");
+  double achieved = 0.0;
+  double potential = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    achieved += f.value(targets[i]);
+    potential += f.value(demands[i]);
+  }
+  return potential > 0.0 ? achieved / potential : 1.0;
+}
+
+CutResult cut_longest_first(std::span<const double> demands,
+                            const quality::QualityFunction& f, double q_target) {
+  CutResult result;
+  result.targets.assign(demands.begin(), demands.end());
+  const std::size_t n = demands.size();
+  if (n == 0 || q_target >= 1.0 - kQualityTol) {
+    result.uncut = true;
+    result.level = n == 0 ? 0.0 : *std::max_element(demands.begin(), demands.end());
+    result.quality = 1.0;
+    return result;
+  }
+  q_target = std::max(q_target, 0.0);
+  for (double p : demands) {
+    GE_CHECK(p > 0.0, "job demands must be positive");
+  }
+
+  // Distinct demand levels, descending; the LF loop walks down this ladder.
+  std::vector<double> levels(demands.begin(), demands.end());
+  std::sort(levels.begin(), levels.end(), std::greater<>());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+  double potential = 0.0;
+  for (double p : demands) {
+    potential += f.value(p);
+  }
+
+  // Walk: after iteration i, every job with p_j > levels[i+1] is cut to
+  // levels[i+1] (the new level); count how many jobs sit at/above each rung.
+  // Sorted demands ascending for prefix bookkeeping.
+  std::vector<double> sorted(demands.begin(), demands.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  auto quality_at_level = [&](double level) {
+    double achieved = 0.0;
+    for (double p : sorted) {
+      achieved += f.value(std::min(p, level));
+    }
+    return achieved / potential;
+  };
+
+  double level = levels.front();  // current common height of the cut jobs
+  double quality = 1.0;
+  int iterations = 0;
+  std::size_t next_rung = 1;  // index into `levels` of the next level-down target
+  bool overshoot = false;
+  while (quality > q_target + kQualityTol) {
+    ++iterations;
+    const double next_level = next_rung < levels.size() ? levels[next_rung] : 0.0;
+    ++next_rung;
+    level = next_level;
+    quality = quality_at_level(level);
+    if (level <= 0.0 && quality > q_target + kQualityTol) {
+      // Even cutting everything to zero cannot reach the target -- only
+      // possible when q_target <= 0; treat as "level 0".
+      break;
+    }
+    if (quality < q_target - kQualityTol) {
+      overshoot = true;
+      break;
+    }
+  }
+
+  if (overshoot) {
+    // Paper step 5: the cut jobs (p_j > level) all receive the same quality
+    //   f(c) = (Q_GE * (F_U + F_C) - F_U) / |C|
+    // where U = uncut jobs (p_j <= level) and C = cut jobs.
+    double f_uncut = 0.0;
+    std::size_t cut_count = 0;
+    for (double p : sorted) {
+      if (p <= level + kQualityTol) {
+        f_uncut += f.value(p);
+      } else {
+        ++cut_count;
+      }
+    }
+    GE_CHECK(cut_count > 0, "overshoot without cut jobs");
+    const double desired =
+        (q_target * potential - f_uncut) / static_cast<double>(cut_count);
+    const double clamped = std::clamp(desired, 0.0, 1.0);
+    level = f.inverse(clamped);
+  }
+
+  result.level = level;
+  result.iterations = iterations;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.targets[i] = std::min(demands[i], level);
+  }
+  result.quality = batch_quality(result.targets, demands, f);
+  return result;
+}
+
+double cut_level_for_quality(std::span<const double> demands,
+                             const quality::QualityFunction& f, double q_target) {
+  if (demands.empty()) {
+    return 0.0;
+  }
+  const double max_demand = *std::max_element(demands.begin(), demands.end());
+  if (q_target >= 1.0) {
+    return max_demand;
+  }
+  if (q_target <= 0.0) {
+    return 0.0;
+  }
+  double potential = 0.0;
+  for (double p : demands) {
+    potential += f.value(p);
+  }
+  auto quality_at = [&](double level) {
+    double achieved = 0.0;
+    for (double p : demands) {
+      achieved += f.value(std::min(p, level));
+    }
+    return achieved / potential;
+  };
+  double lo = 0.0;
+  double hi = max_demand;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (quality_at(mid) < q_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace ge::opt

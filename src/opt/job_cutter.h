@@ -1,0 +1,54 @@
+// Longest-First (LF) job cutting (Sec. III-B, Fig. 2).
+//
+// Given a batch of jobs with demands p_j and a concave quality function f,
+// the AES mode discards the least quality-efficient *tails* of the longest
+// jobs until the batch quality
+//
+//     Q = sum_j f(c_j) / sum_j f(p_j)
+//
+// drops to the user-specified level Q_GE.  The paper's iteration levels the
+// longest job(s) down to the second-longest, re-evaluates Q, and finishes
+// with a closed-form step that assigns every cut job the same quality
+// f(c) = (Q_GE (F_U + F_C) - F_U) / |C|.  The net effect is a single demand
+// level L with c_j = min(p_j, L); the implementation performs the paper's
+// iteration and also exposes a bisection-based solver used for
+// cross-validation in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ge::quality {
+class QualityFunction;
+}
+
+namespace ge::opt {
+
+struct CutResult {
+  // Common demand level of the cut jobs; uncut jobs keep their demand.
+  double level = 0.0;
+  // Per-job cut targets c_j = min(p_j, level), in input order.
+  std::vector<double> targets;
+  // Batch quality sum f(c_j) / sum f(p_j) achieved by the targets.
+  double quality = 1.0;
+  // Number of level-down iterations the LF loop performed.
+  int iterations = 0;
+  // True when no cutting was required (q_target >= 1 or empty batch).
+  bool uncut = false;
+};
+
+// Runs the paper's Longest-First cutting loop.  `demands` are the original
+// processing demands p_j (all positive); q_target is Q_GE in [0, 1].
+CutResult cut_longest_first(std::span<const double> demands,
+                            const quality::QualityFunction& f, double q_target);
+
+// Bisection on the demand level: smallest L with batch quality >= q_target.
+// Mathematically equivalent to cut_longest_first (used to cross-check it).
+double cut_level_for_quality(std::span<const double> demands,
+                             const quality::QualityFunction& f, double q_target);
+
+// Batch quality of arbitrary targets against their demands.
+double batch_quality(std::span<const double> targets, std::span<const double> demands,
+                     const quality::QualityFunction& f);
+
+}  // namespace ge::opt

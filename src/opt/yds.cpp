@@ -1,0 +1,154 @@
+#include "opt/yds.h"
+
+#include <algorithm>
+
+#include "power/power_model.h"
+#include "util/check.h"
+
+namespace ge::opt {
+namespace {
+
+constexpr double kTimeTol = 1e-12;
+
+struct Critical {
+  double t1 = 0.0;
+  double t2 = 0.0;
+  double intensity = -1.0;
+};
+
+// Finds the maximum-intensity interval.  t1 ranges over release points and
+// t2 over deadline points (a classic property of the YDS optimum).  One
+// deadline-sort per round, then an O(n) sweep per distinct release:
+// O(n^2) per round overall.
+Critical find_critical(const std::vector<YdsJob>& jobs) {
+  Critical best;
+  std::vector<double> releases;
+  releases.reserve(jobs.size());
+  for (const YdsJob& job : jobs) {
+    releases.push_back(job.release);
+  }
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()), releases.end());
+
+  std::vector<const YdsJob*> by_deadline;
+  by_deadline.reserve(jobs.size());
+  for (const YdsJob& job : jobs) {
+    by_deadline.push_back(&job);
+  }
+  std::sort(by_deadline.begin(), by_deadline.end(),
+            [](const YdsJob* a, const YdsJob* b) { return a->deadline < b->deadline; });
+
+  for (double t1 : releases) {
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < by_deadline.size(); ++i) {
+      const YdsJob* job = by_deadline[i];
+      if (job->release >= t1 - kTimeTol) {
+        cumulative += job->work;
+      }
+      // Only evaluate at the last job sharing this deadline.
+      if (i + 1 < by_deadline.size() &&
+          by_deadline[i + 1]->deadline <= job->deadline + kTimeTol) {
+        continue;
+      }
+      const double t2 = job->deadline;
+      if (t2 <= t1 + kTimeTol || cumulative <= 0.0) {
+        continue;
+      }
+      const double intensity = cumulative / (t2 - t1);
+      if (intensity > best.intensity + 1e-12) {
+        best = Critical{t1, t2, intensity};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double YdsSchedule::total_work() const {
+  double total = 0.0;
+  for (const YdsBlock& block : blocks) {
+    total += block.work;
+  }
+  return total;
+}
+
+double YdsSchedule::max_speed() const {
+  double best = 0.0;
+  for (const YdsBlock& block : blocks) {
+    best = std::max(best, block.speed);
+  }
+  return best;
+}
+
+double YdsSchedule::energy(const power::PowerModel& pm) const {
+  double total = 0.0;
+  for (const YdsBlock& block : blocks) {
+    total += pm.power(block.speed) * block.duration;
+  }
+  return total;
+}
+
+YdsSchedule yds_schedule(std::span<const YdsJob> input) {
+  std::vector<YdsJob> jobs;
+  jobs.reserve(input.size());
+  for (const YdsJob& job : input) {
+    if (job.work <= 0.0) {
+      continue;
+    }
+    GE_CHECK(job.deadline > job.release + kTimeTol,
+             "YDS job needs a positive execution window");
+    jobs.push_back(job);
+  }
+
+  YdsSchedule schedule;
+  while (!jobs.empty()) {
+    const Critical crit = find_critical(jobs);
+    GE_CHECK(crit.intensity > 0.0, "no critical interval found");
+    const double t1 = crit.t1;
+    const double t2 = crit.t2;
+
+    YdsBlock block;
+    block.duration = t2 - t1;
+    block.speed = crit.intensity;
+
+    // Remove the jobs contained in [t1, t2] and excise the interval from
+    // the timeline for the survivors.
+    auto collapse = [t1, t2](double t) {
+      if (t <= t1 + kTimeTol) {
+        return t;
+      }
+      if (t < t2) {
+        return t1;
+      }
+      return t - (t2 - t1);
+    };
+    std::vector<YdsJob> remaining;
+    remaining.reserve(jobs.size());
+    for (const YdsJob& job : jobs) {
+      const bool contained =
+          job.release >= t1 - kTimeTol && job.deadline <= t2 + kTimeTol;
+      if (contained) {
+        block.work += job.work;
+        ++block.jobs;
+        continue;
+      }
+      YdsJob shrunk = job;
+      shrunk.release = collapse(job.release);
+      shrunk.deadline = collapse(job.deadline);
+      GE_CHECK(shrunk.deadline > shrunk.release + kTimeTol,
+               "collapse produced an empty window");
+      remaining.push_back(shrunk);
+    }
+    GE_CHECK(block.jobs > 0, "critical interval contained no job");
+    schedule.blocks.push_back(block);
+    jobs = std::move(remaining);
+  }
+  return schedule;
+}
+
+double yds_min_energy(std::span<const YdsJob> jobs, const power::PowerModel& pm) {
+  return yds_schedule(jobs).energy(pm);
+}
+
+}  // namespace ge::opt

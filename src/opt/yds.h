@@ -1,0 +1,63 @@
+// Full Yao-Demers-Shenker (FOCS'95) minimal-energy speed scheduling for
+// preemptive jobs with arbitrary release times and deadlines.
+//
+// The GE scheduler itself only needs the restricted all-released case
+// (energy_opt.h); the full algorithm serves two purposes here:
+//   * it cross-checks the restricted planner (with every job released at
+//     plan time and agreeable deadlines the two must produce the same
+//     energy), and
+//   * it powers the idealised offline reference of abl_optimality_gap: a
+//     clairvoyant fluid relaxation of the whole trace that GE's online,
+//     non-preemptive, partitioned schedule can be compared against.
+//
+// Classic critical-interval construction: repeatedly find the interval
+// [t1, t2] maximising the intensity
+//
+//     g(t1, t2) = (sum of work of jobs with [r_j, d_j] subseteq [t1, t2])
+//                 / (t2 - t1),
+//
+// schedule those jobs at speed g over the interval, excise the interval
+// from the timeline, and recurse on the remaining jobs.  Candidate t1/t2
+// are release/deadline points, so each round costs O(n^2) with the
+// per-release sweep used below.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ge::power {
+class PowerModel;
+}
+
+namespace ge::opt {
+
+struct YdsJob {
+  double release = 0.0;
+  double deadline = 0.0;  // > release
+  double work = 0.0;      // units; jobs with zero work are ignored
+};
+
+struct YdsBlock {
+  double duration = 0.0;  // seconds of (collapsed) timeline
+  double speed = 0.0;     // units/second
+  double work = 0.0;      // speed * duration
+  std::size_t jobs = 0;   // number of jobs completed in this block
+};
+
+struct YdsSchedule {
+  // Critical blocks in construction order; speeds are non-increasing.
+  std::vector<YdsBlock> blocks;
+
+  double total_work() const;
+  double max_speed() const;
+  // Energy of executing the blocks on one machine with the given model.
+  double energy(const power::PowerModel& pm) const;
+};
+
+// Computes the YDS schedule.  Jobs may be in any order.
+YdsSchedule yds_schedule(std::span<const YdsJob> jobs);
+
+// Minimal energy of the instance under the power model (convenience).
+double yds_min_energy(std::span<const YdsJob> jobs, const power::PowerModel& pm);
+
+}  // namespace ge::opt

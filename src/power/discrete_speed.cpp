@@ -1,0 +1,51 @@
+#include "power/discrete_speed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ge::power {
+
+DiscreteSpeedTable::DiscreteSpeedTable(std::vector<double> levels_units)
+    : levels_(std::move(levels_units)) {
+  GE_CHECK(!levels_.empty(), "speed table must have at least one level");
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+  GE_CHECK(levels_.front() > 0.0, "speed levels must be positive");
+}
+
+DiscreteSpeedTable DiscreteSpeedTable::uniform_ghz(double step_ghz, double max_ghz,
+                                                   double units_per_ghz) {
+  GE_CHECK(step_ghz > 0.0 && max_ghz >= step_ghz, "invalid speed ladder");
+  std::vector<double> levels;
+  const int steps = static_cast<int>(std::round(max_ghz / step_ghz));
+  levels.reserve(static_cast<std::size_t>(steps));
+  for (int i = 1; i <= steps; ++i) {
+    levels.push_back(static_cast<double>(i) * step_ghz * units_per_ghz);
+  }
+  return DiscreteSpeedTable(std::move(levels));
+}
+
+double DiscreteSpeedTable::ceil(double speed_units) const {
+  auto it = std::lower_bound(levels_.begin(), levels_.end(), speed_units - 1e-9);
+  if (it == levels_.end()) {
+    return levels_.back();
+  }
+  return *it;
+}
+
+double DiscreteSpeedTable::floor(double speed_units) const {
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), speed_units + 1e-9);
+  if (it == levels_.begin()) {
+    return 0.0;  // below the lowest operating point: idle
+  }
+  return *(it - 1);
+}
+
+bool DiscreteSpeedTable::is_level(double speed_units, double tol) const {
+  auto it = std::lower_bound(levels_.begin(), levels_.end(), speed_units - tol);
+  return it != levels_.end() && std::abs(*it - speed_units) <= tol;
+}
+
+}  // namespace ge::power

@@ -1,0 +1,43 @@
+// Core-level DVFS power model (Sec. II-B).
+//
+// Dynamic power is the well-established convex function of core speed
+//
+//     P(s) = a * s^beta,   a > 0, beta > 1   (paper: a = 5, beta = 2)
+//
+// with s in GHz.  Internally the simulator measures work in "processing
+// units" (a 1 GHz core completes 1000 units per second, Sec. IV-B), so this
+// class converts both ways between unit-rates and power.  Static power is a
+// constant offset common to every algorithm and is ignored, exactly as in
+// the paper.
+#pragma once
+
+namespace ge::power {
+
+class PowerModel {
+ public:
+  // units_per_ghz: processing units completed per second per GHz of speed.
+  PowerModel(double a = 5.0, double beta = 2.0, double units_per_ghz = 1000.0);
+
+  // Power (W) drawn at `speed_units` processing units per second.
+  double power(double speed_units) const;
+
+  // Speed (units/s) sustainable at `watts` of dynamic power.
+  double speed_for_power(double watts) const;
+
+  // Energy (J) of running at a constant speed for `duration` seconds.
+  double energy(double speed_units, double duration) const;
+
+  double ghz(double speed_units) const { return speed_units / units_per_ghz_; }
+  double speed_units(double ghz) const { return ghz * units_per_ghz_; }
+
+  double a() const noexcept { return a_; }
+  double beta() const noexcept { return beta_; }
+  double units_per_ghz() const noexcept { return units_per_ghz_; }
+
+ private:
+  double a_;
+  double beta_;
+  double units_per_ghz_;
+};
+
+}  // namespace ge::power

@@ -1,0 +1,38 @@
+#include "quality/quality_monitor.h"
+
+#include <algorithm>
+
+#include "quality/quality_function.h"
+#include "util/check.h"
+
+namespace ge::quality {
+
+QualityMonitor::QualityMonitor(const QualityFunction& f, std::size_t window)
+    : f_(f), window_(window) {}
+
+void QualityMonitor::settle(double processed, double demand) {
+  GE_CHECK(demand > 0.0, "job demand must be positive");
+  processed = std::clamp(processed, 0.0, demand);
+  const double achieved = f_.value(processed);
+  const double potential = f_.value(demand);
+  ++settled_;
+  achieved_ += achieved;
+  potential_ += potential;
+  if (window_ > 0) {
+    recent_.emplace_back(achieved, potential);
+    if (recent_.size() > window_) {
+      achieved_ -= recent_.front().first;
+      potential_ -= recent_.front().second;
+      recent_.pop_front();
+    }
+  }
+}
+
+double QualityMonitor::quality() const noexcept {
+  if (potential_ <= 0.0) {
+    return 1.0;
+  }
+  return achieved_ / potential_;
+}
+
+}  // namespace ge::quality

@@ -1,0 +1,53 @@
+// Online service-quality monitor.
+//
+// Tracks the paper's average-quality metric
+//
+//     Q(J) = sum_j f(c_j) / sum_j f(p_j)
+//
+// over all *settled* jobs (completed, partially completed, or discarded).
+// The GE compensation policy reads quality() at every scheduling round and
+// switches to Best-Quality mode when it drops below Q_GE (Sec. III-C).
+//
+// By default the monitor is cumulative over the whole run, exactly as the
+// paper describes ("online monitoring of the user experience").  A sliding
+// window over the last N settled jobs is also supported; it makes the
+// compensation loop react on a bounded horizon, which is useful for very
+// long-running services (the paper's 10-minute runs do not need it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace ge::quality {
+
+class QualityFunction;
+
+class QualityMonitor {
+ public:
+  // window == 0 selects the cumulative (paper) behaviour.
+  explicit QualityMonitor(const QualityFunction& f, std::size_t window = 0);
+
+  // Records the outcome of one job: `processed` units executed out of a
+  // `demand`-unit request.  processed may exceed demand by rounding noise;
+  // it is clamped.
+  void settle(double processed, double demand);
+
+  // Current Q(J); defined as 1.0 before the first settlement (no evidence of
+  // quality loss yet, so GE starts in AES mode -- Sec. III-A).
+  double quality() const noexcept;
+
+  std::uint64_t settled_jobs() const noexcept { return settled_; }
+  double achieved_sum() const noexcept { return achieved_; }
+  double potential_sum() const noexcept { return potential_; }
+
+ private:
+  const QualityFunction& f_;
+  std::size_t window_;
+  std::uint64_t settled_ = 0;
+  double achieved_ = 0.0;   // sum f(c_j)
+  double potential_ = 0.0;  // sum f(p_j)
+  std::deque<std::pair<double, double>> recent_;  // (f(c), f(p)) when windowed
+};
+
+}  // namespace ge::quality

@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ge::sim {
+
+EventId EventQueue::push(double time, std::function<void()> action) {
+  GE_CHECK(action != nullptr, "event action must be callable");
+  const EventId id = next_id_++;
+  heap_.push_back(HeapEntry{time, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+
+void EventQueue::skim() const {
+  while (!heap_.empty() && !live_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  skim();
+  return heap_.empty();
+}
+
+double EventQueue::next_time() const {
+  skim();
+  GE_CHECK(!heap_.empty(), "next_time() on empty queue");
+  return heap_.front().time;
+}
+
+Event EventQueue::pop() {
+  skim();
+  GE_CHECK(!heap_.empty(), "pop() on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev{heap_.back().time, heap_.back().id, std::move(heap_.back().action)};
+  heap_.pop_back();
+  live_.erase(ev.id);
+  return ev;
+}
+
+}  // namespace ge::sim

@@ -1,0 +1,71 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap keyed by (time, sequence number).  The sequence number
+// makes event ordering deterministic when several events share a timestamp:
+// ties break in scheduling order, which is what makes simulation runs
+// bit-reproducible for a fixed seed.  Cancellation is lazy: a cancelled id is
+// removed from the live-id set and its heap entry is dropped when it surfaces
+// at the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+namespace ge::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+struct Event {
+  double time = 0.0;
+  EventId id = kInvalidEventId;  // also the tie-break sequence number
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  // Inserts an event and returns its id (ids start at 1 and increase in
+  // scheduling order).
+  EventId push(double time, std::function<void()> action);
+
+  // Cancels a pending event.  Returns false (and does nothing) if the id is
+  // unknown, already executed, or already cancelled.
+  bool cancel(EventId id);
+
+  bool is_pending(EventId id) const { return live_.contains(id); }
+
+  bool empty() const;
+  std::size_t size() const noexcept { return live_.size(); }  // live events
+
+  // Time of the earliest live event; requires !empty().
+  double next_time() const;
+
+  // Removes and returns the earliest live event; requires !empty().
+  Event pop();
+
+ private:
+  struct HeapEntry {
+    double time;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Pops cancelled entries off the top of the heap.
+  void skim() const;
+
+  mutable std::vector<HeapEntry> heap_;
+  std::unordered_set<EventId> live_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ge::sim

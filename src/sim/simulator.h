@@ -1,0 +1,51 @@
+// Discrete-event simulator: a virtual clock plus an event queue.
+//
+// Components schedule closures at absolute or relative virtual times; the
+// simulator executes them in non-decreasing time order (FIFO among equal
+// timestamps).  Time never goes backwards; scheduling in the past is a
+// checked error.  This is the substrate every experiment in the paper runs
+// on -- the paper's evaluation is entirely simulation-based.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace ge::sim {
+
+class Simulator {
+ public:
+  double now() const noexcept { return now_; }
+
+  // Schedules `action` at absolute virtual time `time` (>= now).
+  EventId schedule_at(double time, std::function<void()> action);
+
+  // Schedules `action` `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, std::function<void()> action);
+
+  // Cancels a pending event; returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  bool event_pending(EventId id) const { return queue_.is_pending(id); }
+
+  // Executes the next event, if any.  Returns false when the queue is empty.
+  bool step();
+
+  // Runs events with time <= horizon, then advances the clock to exactly
+  // `horizon` (even if no event lands there).
+  void run_until(double horizon);
+
+  // Runs until the event queue is empty.
+  void run_to_completion();
+
+  std::uint64_t executed_events() const noexcept { return executed_; }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  double now_ = 0.0;
+  EventQueue queue_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ge::sim

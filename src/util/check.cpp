@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ge::util {
+
+void check_failed(std::string_view condition, std::string_view file, int line,
+                  std::string_view message) {
+  std::fprintf(stderr, "GE_CHECK failed: %.*s at %.*s:%d: %.*s\n",
+               static_cast<int>(condition.size()), condition.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+}  // namespace ge::util

@@ -1,0 +1,50 @@
+#include "util/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ge::util {
+
+void QuantileCollector::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_ = false;
+}
+
+double QuantileCollector::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+void QuantileCollector::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double QuantileCollector::min() const {
+  GE_CHECK(!samples_.empty(), "quantile of an empty collector");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double QuantileCollector::max() const {
+  GE_CHECK(!samples_.empty(), "quantile of an empty collector");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double QuantileCollector::quantile(double q) const {
+  GE_CHECK(!samples_.empty(), "quantile of an empty collector");
+  GE_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace ge::util

@@ -1,0 +1,37 @@
+// Exact quantile collector.
+//
+// Interactive services care about tail latency; the runner records one
+// response time per request and reports p50/p95/p99.  At the simulator's
+// scale (<= a few hundred thousand samples per run) an exact collector is
+// cheaper than a sketch and has no error to reason about: samples are
+// stored and sorted lazily on first query.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ge::util {
+
+class QuantileCollector {
+ public:
+  void add(double sample);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double min() const;
+  double max() const;
+
+  // Quantile q in [0, 1] with linear interpolation between order statistics;
+  // requires at least one sample.
+  double quantile(double q) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace ge::util

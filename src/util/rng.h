@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic components of the reproduction (arrival process, demand
+// distribution, deadline jitter) draw from ge::util::Rng so that a single
+// 64-bit seed fully determines a simulation run.  The generator is
+// xoshiro256++ seeded through splitmix64, which is fast, has a 2^256-1
+// period, and passes BigCrush -- more than adequate for a discrete-event
+// workload model and, unlike std::mt19937, bit-reproducible across
+// standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ge::util {
+
+// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  // Uniform double in [0, 1).  Uses the top 53 bits.
+  double uniform() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Uniform integer in [0, n).  n must be positive.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  // Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  // Derives an independent child generator; useful to give each component
+  // (arrivals, demands, jitter) its own stream from one master seed.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace ge::util

@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ge::util {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void TimeWeightedStats::add(double value, double duration) noexcept {
+  GE_CHECK(duration >= -1e-12, "negative duration in TimeWeightedStats");
+  if (duration <= 0.0) {
+    return;
+  }
+  total_time_ += duration;
+  sum_ += value * duration;
+  sum_sq_ += value * value * duration;
+}
+
+void TimeWeightedStats::merge(const TimeWeightedStats& other) noexcept {
+  total_time_ += other.total_time_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double TimeWeightedStats::mean() const noexcept {
+  return total_time_ > 0.0 ? sum_ / total_time_ : 0.0;
+}
+
+double TimeWeightedStats::variance() const noexcept {
+  if (total_time_ <= 0.0) {
+    return 0.0;
+  }
+  const double m = sum_ / total_time_;
+  const double v = sum_sq_ / total_time_ - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+}  // namespace ge::util

@@ -1,0 +1,82 @@
+#include "util/table.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace ge::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GE_CHECK(!header_.empty(), "table must have at least one column");
+}
+
+void Table::begin_row() { cells_.emplace_back(); }
+
+void Table::add(const std::string& cell) {
+  GE_CHECK(!cells_.empty(), "begin_row() before add()");
+  GE_CHECK(cells_.back().size() < header_.size(), "row has too many cells");
+  cells_.back().push_back(cell);
+}
+
+void Table::add(double value, int precision) { add(format_double(value, precision)); }
+
+void Table::add(std::uint64_t value) { add(std::to_string(value)); }
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  GE_CHECK(row < cells_.size() && col < cells_[row].size(), "cell out of range");
+  return cells_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << "  ";
+      }
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : cells_) {
+    emit_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : cells_) {
+    emit_row(row);
+  }
+}
+
+}  // namespace ge::util

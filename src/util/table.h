@@ -1,0 +1,42 @@
+// Plain-text table / CSV emitters used by the benchmark harnesses.
+//
+// Every figure-reproduction binary prints one table: a header row naming the
+// series, then one row per sweep point.  Table renders the data aligned for
+// humans and can also dump strict CSV so the series can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ge::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Starts a new row; subsequent add() calls fill it left to right.
+  void begin_row();
+  void add(const std::string& cell);
+  void add(double value, int precision = 4);
+  void add(std::uint64_t value);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  // Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  // Strict comma-separated rendering (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+// Formats a double with fixed precision (helper shared with examples).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace ge::util

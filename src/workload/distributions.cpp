@@ -1,0 +1,85 @@
+#include "workload/distributions.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ge::workload {
+
+BoundedParetoDistribution::BoundedParetoDistribution(double alpha, double xmin,
+                                                     double xmax)
+    : alpha_(alpha), xmin_(xmin), xmax_(xmax) {
+  GE_CHECK(alpha > 0.0, "Pareto index must be positive");
+  GE_CHECK(xmin > 0.0 && xmax > xmin, "need 0 < xmin < xmax");
+  ratio_pow_ = std::pow(xmin_ / xmax_, alpha_);
+}
+
+double BoundedParetoDistribution::sample(util::Rng& rng) const {
+  // Inverse-CDF sampling for the truncated Pareto:
+  //   F(x) = (1 - (xmin/x)^alpha) / (1 - (xmin/xmax)^alpha)
+  //   x = xmin / (1 - u (1 - (xmin/xmax)^alpha))^(1/alpha),  u ~ U[0,1)
+  const double u = rng.uniform();
+  const double denom = std::pow(1.0 - u * (1.0 - ratio_pow_), 1.0 / alpha_);
+  const double x = xmin_ / denom;
+  // Clamp for floating-point safety at the right edge.
+  return x > xmax_ ? xmax_ : x;
+}
+
+double BoundedParetoDistribution::mean() const {
+  if (alpha_ == 1.0) {
+    // E[X] = xmin * ln(xmax/xmin) / (1 - xmin/xmax)
+    return xmin_ * std::log(xmax_ / xmin_) / (1.0 - xmin_ / xmax_);
+  }
+  // E[X] = xmin^a / (1 - (xmin/xmax)^a) * a/(a-1) * (xmin^{1-a} - xmax^{1-a})
+  return std::pow(xmin_, alpha_) / (1.0 - ratio_pow_) * alpha_ / (alpha_ - 1.0) *
+         (std::pow(xmin_, 1.0 - alpha_) - std::pow(xmax_, 1.0 - alpha_));
+}
+
+OnOffPoissonProcess::OnOffPoissonProcess(double mean_rate, double peak_to_mean,
+                                         double burst_fraction, double burst_dwell,
+                                         util::Rng rng)
+    : burst_dwell_(burst_dwell), rng_(rng) {
+  GE_CHECK(mean_rate > 0.0, "mean rate must be positive");
+  GE_CHECK(peak_to_mean >= 1.0, "peak-to-mean ratio must be >= 1");
+  GE_CHECK(burst_fraction > 0.0 && burst_fraction < 1.0,
+           "burst fraction must be in (0,1)");
+  GE_CHECK(peak_to_mean * burst_fraction < 1.0,
+           "peak_to_mean * burst_fraction must be < 1 (calm rate positive)");
+  GE_CHECK(burst_dwell > 0.0, "burst dwell must be positive");
+  burst_rate_ = peak_to_mean * mean_rate;
+  // mean = f * burst + (1-f) * calm  =>  calm = mean (1 - f r) / (1 - f).
+  calm_rate_ = mean_rate * (1.0 - burst_fraction * peak_to_mean) /
+               (1.0 - burst_fraction);
+  calm_dwell_ = burst_dwell * (1.0 - burst_fraction) / burst_fraction;
+  next_switch_ = rng_.exponential(1.0 / calm_dwell_);
+}
+
+double OnOffPoissonProcess::next() {
+  // Piecewise-constant-rate Poisson: draw an exponential at the current
+  // rate; if it crosses the state boundary, restart from the boundary with
+  // the other state's rate (valid by memorylessness).
+  for (;;) {
+    const double rate = in_burst_ ? burst_rate_ : calm_rate_;
+    const double candidate = time_ + rng_.exponential(rate);
+    if (candidate <= next_switch_) {
+      time_ = candidate;
+      return time_;
+    }
+    time_ = next_switch_;
+    in_burst_ = !in_burst_;
+    const double dwell = in_burst_ ? burst_dwell_ : calm_dwell_;
+    next_switch_ = time_ + rng_.exponential(1.0 / dwell);
+  }
+}
+
+PoissonProcess::PoissonProcess(double rate, util::Rng rng)
+    : rate_(rate), rng_(rng) {
+  GE_CHECK(rate > 0.0, "arrival rate must be positive");
+}
+
+double PoissonProcess::next() {
+  time_ += rng_.exponential(rate_);
+  return time_;
+}
+
+}  // namespace ge::workload

@@ -1,0 +1,21 @@
+#include "workload/job.h"
+
+namespace ge::workload {
+
+bool job_invariants_hold(const Job& job) noexcept {
+  if (job.demand <= 0.0) {
+    return false;
+  }
+  if (job.deadline < job.arrival) {
+    return false;
+  }
+  if (job.target < -1e-9 || job.target > job.demand + 1e-9) {
+    return false;
+  }
+  if (job.executed < -1e-9 || job.executed > job.target + 1e-6) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ge::workload

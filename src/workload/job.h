@@ -1,0 +1,46 @@
+// The unit of work: an interactive service request ("job" in the paper).
+//
+// A job J_j arrives at time s_j, must be answered by its deadline d_j, and
+// carries a processing demand p_j in processing units (1 GHz-second = 1000
+// units, Sec. IV-B).  Jobs may be *partially* processed: the scheduler sets
+// `target` (the cut demand c_j <= p_j) and the executing core accumulates
+// `executed`.  Once a job is settled (completed, truncated at its deadline,
+// or dropped) its quality contribution f(executed) is frozen.
+#pragma once
+
+#include <cstdint>
+
+namespace ge::workload {
+
+inline constexpr int kUnassigned = -1;
+
+struct Job {
+  std::uint64_t id = 0;
+  double arrival = 0.0;   // s_j, seconds
+  double deadline = 0.0;  // d_j, seconds
+  double demand = 0.0;    // p_j, processing units
+  double target = 0.0;    // c_j after cutting; invariant: 0 <= target <= demand
+  double executed = 0.0;  // units processed so far; <= target (+eps)
+  int core = kUnassigned; // core the job is pinned to (no migration)
+  bool settled = false;
+  // Time the response was returned to the user: completion of the (cut)
+  // target, or the deadline for partial/dropped jobs.  < 0 until settled.
+  double finish_time = -1.0;
+
+  double window() const noexcept { return deadline - arrival; }
+  double remaining_target() const noexcept {
+    const double r = target - executed;
+    return r > 0.0 ? r : 0.0;
+  }
+  double remaining_demand() const noexcept {
+    const double r = demand - executed;
+    return r > 0.0 ? r : 0.0;
+  }
+  bool assigned() const noexcept { return core != kUnassigned; }
+  bool expired(double now) const noexcept { return now >= deadline; }
+};
+
+// Validates basic job invariants; used by tests and debug paths.
+bool job_invariants_hold(const Job& job) noexcept;
+
+}  // namespace ge::workload

@@ -1,0 +1,49 @@
+// Workload trace record / replay.
+//
+// A trace is the materialised request stream of a run: one record per job
+// (id, arrival, deadline, demand).  Traces decouple workload generation from
+// scheduling -- the same trace can be replayed against every scheduler so
+// that algorithm comparisons see *identical* randomness, and traces can be
+// exported to CSV for inspection or external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace ge::workload {
+
+struct WorkloadSpec;
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Job> jobs);
+
+  // Materialises `horizon` seconds of a synthetic workload.
+  static Trace generate(const WorkloadSpec& spec, double horizon);
+
+  const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  std::size_t size() const noexcept { return jobs_.size(); }
+  bool empty() const noexcept { return jobs_.empty(); }
+
+  // Total processing demand in the trace (units).
+  double total_demand() const;
+  // Last arrival time, 0 when empty.
+  double horizon() const;
+
+  // CSV round-trip.  Format: header "id,arrival,deadline,demand" + one row
+  // per job, arrival-sorted.  save_csv overwrites; load_csv validates
+  // monotone arrivals and positive demands.
+  void save_csv(const std::string& path) const;
+  static Trace load_csv(const std::string& path);
+
+  std::string to_csv() const;
+  static Trace from_csv(const std::string& text);
+
+ private:
+  std::vector<Job> jobs_;  // sorted by arrival
+};
+
+}  // namespace ge::workload

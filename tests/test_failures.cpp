@@ -1,0 +1,147 @@
+// Fault-injection tests: cores dropping offline mid-run.
+#include <gtest/gtest.h>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "exp/timeline.h"
+#include "opt/energy_opt.h"
+#include "server/multicore_server.h"
+
+namespace ge::server {
+namespace {
+
+TEST(CoreFailure, OfflineCoreStopsExecuting) {
+  sim::Simulator sim;
+  power::PowerModel pm(5.0, 2.0, 1000.0);
+  MulticoreServer server(2, 40.0, pm, sim);
+  workload::Job job;
+  job.id = 1;
+  job.deadline = 1.0;
+  job.demand = job.target = 400.0;
+  job.core = 0;
+  Core& core = server.core(0);
+  core.queue().push_back(&job);
+  opt::ExecutionPlan plan;
+  plan.segments.push_back(opt::PlanSegment{&job, 0.0, 0.4, 1000.0, 400.0});
+  core.install_plan(std::move(plan), 20.0);
+  sim.run_until(0.2);
+  core.set_offline(0.2);
+  sim.run_until(1.0);
+  EXPECT_FALSE(core.online());
+  EXPECT_NEAR(job.executed, 200.0, 1e-9);  // credited up to the failure only
+  EXPECT_FALSE(core.busy(1.0));
+  EXPECT_NEAR(core.energy(), 5.0 * 0.2, 1e-9);  // 1 GHz for 0.2 s
+}
+
+TEST(CoreFailure, InstallOnOfflineCoreDies) {
+  sim::Simulator sim;
+  power::PowerModel pm;
+  MulticoreServer server(1, 20.0, pm, sim);
+  server.core(0).set_offline(0.0);
+  workload::Job job;
+  job.id = 1;
+  job.deadline = 1.0;
+  job.demand = job.target = 100.0;
+  job.core = 0;
+  server.core(0).queue().push_back(&job);
+  opt::ExecutionPlan plan;
+  plan.segments.push_back(opt::PlanSegment{&job, 0.0, 0.1, 1000.0, 100.0});
+  EXPECT_DEATH(server.core(0).install_plan(std::move(plan), 20.0), "offline");
+}
+
+TEST(CoreFailure, FindIdleCoreSkipsOffline) {
+  sim::Simulator sim;
+  power::PowerModel pm;
+  MulticoreServer server(2, 40.0, pm, sim);
+  EXPECT_EQ(server.online_cores(), 2u);
+  server.core(0).set_offline(0.0);
+  EXPECT_EQ(server.online_cores(), 1u);
+  EXPECT_EQ(server.find_idle_core(0.0), 1);
+  server.core(1).set_offline(0.0);
+  EXPECT_EQ(server.find_idle_core(0.0), -1);
+}
+
+}  // namespace
+}  // namespace ge::server
+
+namespace ge::exp {
+namespace {
+
+ExperimentConfig failing_config(double rate, std::size_t failed, double when) {
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = rate;
+  cfg.duration = 8.0;
+  cfg.seed = 27;
+  cfg.failure_time = when;
+  cfg.failure_cores = failed;
+  return cfg;
+}
+
+TEST(CoreFailure, RunCompletesWithFailures) {
+  for (const char* algo : {"GE", "BE", "FCFS"}) {
+    const RunResult r =
+        run_simulation(failing_config(150.0, 4, 3.0), SchedulerSpec::parse(algo));
+    EXPECT_GT(r.released, 0u) << algo;
+    EXPECT_EQ(r.released, r.completed + r.partial + r.dropped) << algo;
+  }
+}
+
+TEST(CoreFailure, QualityDegradesWithFailedCores) {
+  const ExperimentConfig base = failing_config(170.0, 0, -1.0);
+  const workload::Trace trace =
+      workload::Trace::generate(base.workload_spec(), base.duration);
+  const RunResult healthy = run_simulation(base, SchedulerSpec::parse("GE"), trace);
+  const RunResult degraded = run_simulation(failing_config(170.0, 8, 1.0),
+                                            SchedulerSpec::parse("GE"), trace);
+  EXPECT_LT(degraded.quality, healthy.quality);
+  EXPECT_GT(degraded.quality, 0.3);  // half the cores still serve
+}
+
+TEST(CoreFailure, BudgetRespectedAfterFailure) {
+  ExperimentConfig cfg = failing_config(200.0, 6, 2.0);
+  cfg.verify_power = true;
+  const RunResult r = run_simulation(cfg, SchedulerSpec::parse("GE"));
+  EXPECT_GT(r.released, 0u);
+}
+
+TEST(CoreFailure, SurvivorsAbsorbTheBudget) {
+  // With ES over online cores, the per-core share grows after the failure,
+  // so the surviving cores can run faster: at moderate load the quality hit
+  // from losing 4 of 16 cores should be modest.
+  const RunResult r =
+      run_simulation(failing_config(120.0, 4, 2.0), SchedulerSpec::parse("GE"));
+  EXPECT_GT(r.quality, 0.85);
+}
+
+TEST(CoreFailure, TimelineShowsCapacityDrop) {
+  ExperimentConfig cfg = failing_config(200.0, 8, 4.0);
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  Timeline timeline;
+  timeline.interval = 0.1;
+  (void)run_simulation(cfg, SchedulerSpec::parse("BE"), trace, &timeline);
+  int max_busy_before = 0;
+  int max_busy_after = 0;
+  for (const TimelinePoint& p : timeline.points) {
+    if (p.time < 4.0) {
+      max_busy_before = std::max(max_busy_before, p.busy_cores);
+    } else if (p.time > 4.5) {
+      max_busy_after = std::max(max_busy_after, p.busy_cores);
+    }
+  }
+  EXPECT_GT(max_busy_before, 8);
+  EXPECT_LE(max_busy_after, 8);
+}
+
+TEST(CoreFailure, AllCoresFailingDropsEverythingAfter) {
+  const RunResult r =
+      run_simulation(failing_config(100.0, 16, 1.0), SchedulerSpec::parse("GE"));
+  // Jobs arriving after t=1 can never run; quality collapses but the run
+  // still terminates cleanly with every job settled.
+  EXPECT_EQ(r.released, r.completed + r.partial + r.dropped);
+  EXPECT_LT(r.quality, 0.4);
+}
+
+}  // namespace
+}  // namespace ge::exp

@@ -1,0 +1,291 @@
+// Behavioural tests for the GoodEnough scheduler engine, driven through
+// small controlled simulations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/good_enough.h"
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "quality/quality_function.h"
+#include "quality/quality_monitor.h"
+
+namespace ge::sched {
+namespace {
+
+// A hand-driven harness around one GoodEnoughScheduler.
+struct Harness {
+  sim::Simulator sim;
+  power::PowerModel pm{5.0, 2.0, 1000.0};
+  server::MulticoreServer server;
+  quality::ExponentialQuality f{0.003, 1000.0};
+  quality::QualityMonitor monitor{f};
+  std::unique_ptr<GoodEnoughScheduler> scheduler;
+  std::vector<std::unique_ptr<workload::Job>> jobs;
+
+  explicit Harness(std::size_t cores = 2, double budget = 40.0,
+                   GoodEnoughOptions options = {})
+      : server(cores, budget, pm, sim) {
+    SchedulerEnv env{&sim, &server, &f, &monitor};
+    scheduler = std::make_unique<GoodEnoughScheduler>(env, options);
+    for (std::size_t i = 0; i < cores; ++i) {
+      server.core(i).set_job_finished_callback(
+          [this](workload::Job* j) { scheduler->on_job_finished(j); });
+      server.core(i).set_idle_callback(
+          [this](int id) { scheduler->on_core_idle(id); });
+    }
+    scheduler->start();
+  }
+
+  workload::Job* add_job(double arrival, double window, double demand) {
+    auto job = std::make_unique<workload::Job>();
+    job->id = jobs.size() + 1;
+    job->arrival = arrival;
+    job->deadline = arrival + window;
+    job->demand = demand;
+    job->target = demand;
+    workload::Job* ptr = job.get();
+    jobs.push_back(std::move(job));
+    sim.schedule_at(arrival, [this, ptr] { scheduler->on_job_arrival(ptr); });
+    sim.schedule_at(ptr->deadline, [this, ptr] { scheduler->on_deadline(ptr); });
+    return ptr;
+  }
+};
+
+TEST(GoodEnough, SingleJobCompletesCutTargetInAes) {
+  GoodEnoughOptions options;
+  options.cut_target = 0.9;
+  Harness h(2, 40.0, options);
+  // Window wide enough that the 2 GHz power cap is not the binding
+  // constraint -- the AES cut is.
+  workload::Job* job = h.add_job(0.0, 0.4, 800.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  EXPECT_TRUE(job->settled);
+  // AES cut: f(c) = 0.9 f(800).
+  const double expected = h.f.inverse(0.9 * h.f.value(800.0));
+  EXPECT_NEAR(job->executed, expected, 1.0);
+}
+
+TEST(GoodEnough, BestEffortRunsJobsToCompletion) {
+  GoodEnoughOptions options;
+  options.cutting = false;  // BE
+  options.power_policy = power::DistributionPolicy::kWaterFilling;
+  Harness h(2, 40.0, options);
+  workload::Job* job = h.add_job(0.0, 0.15, 200.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  EXPECT_NEAR(job->executed, 200.0, 1e-6);
+  EXPECT_NEAR(h.monitor.quality(), 1.0, 1e-9);
+}
+
+TEST(GoodEnough, ModeIsAesInitially) {
+  Harness h;
+  EXPECT_EQ(h.scheduler->mode(), GoodEnoughScheduler::Mode::kAes);
+}
+
+TEST(GoodEnough, CompensationSwitchesToBqAfterQualityDrop) {
+  GoodEnoughOptions options;
+  options.q_ge = 0.9;
+  Harness h(2, 40.0, options);
+  // Poison the monitor: a pile of dropped jobs pushes quality to ~0.
+  for (int i = 0; i < 10; ++i) {
+    h.monitor.settle(0.0, 500.0);
+  }
+  workload::Job* job = h.add_job(0.0, 0.45, 800.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  // BQ mode: the job must have run to FULL demand, not the 0.9 cut.
+  EXPECT_NEAR(job->executed, 800.0, 1e-6);
+  EXPECT_GT(h.scheduler->bq_time(h.sim.now()), 0.0);
+}
+
+TEST(GoodEnough, NoCompensationStaysInAes) {
+  GoodEnoughOptions options;
+  options.compensation = false;
+  Harness h(2, 40.0, options);
+  for (int i = 0; i < 10; ++i) {
+    h.monitor.settle(0.0, 500.0);  // quality ~0, but no compensation
+  }
+  workload::Job* job = h.add_job(0.0, 0.4, 800.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  const double expected = h.f.inverse(0.9 * h.f.value(800.0));
+  EXPECT_NEAR(job->executed, expected, 1.0);
+  EXPECT_DOUBLE_EQ(h.scheduler->bq_time(h.sim.now()), 0.0);
+}
+
+TEST(GoodEnough, ExpiredWaitingJobIsDroppedWithZeroQuality) {
+  Harness h;
+  // Arrives with an already-stale deadline window of 0 via direct injection:
+  // use a tiny window instead and let it expire before the first round can
+  // run it (demand far beyond capacity in the window).
+  workload::Job* job = h.add_job(0.0, 0.0001, 900.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  EXPECT_TRUE(job->settled);
+  EXPECT_LT(job->executed, 900.0);
+}
+
+TEST(GoodEnough, PowerCapRespectedUnderOverload) {
+  GoodEnoughOptions options;
+  options.cutting = false;  // force maximum appetite for work
+  options.power_policy = power::DistributionPolicy::kWaterFilling;
+  Harness h(2, 40.0, options);
+  // Far more work than 2 cores at 40 W can do in the window.
+  for (int i = 0; i < 12; ++i) {
+    h.add_job(0.001 * i, 0.15, 900.0);
+  }
+  bool checked = false;
+  for (double t = 0.01; t < 0.15; t += 0.01) {
+    h.sim.schedule_at(t, [&h, &checked] {
+      EXPECT_LE(h.server.total_power(h.sim.now()), 40.0 * (1.0 + 1e-6));
+      checked = true;
+    });
+  }
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  EXPECT_TRUE(checked);
+}
+
+TEST(GoodEnough, QualityOptTrimsWhenCapBinds) {
+  GoodEnoughOptions options;
+  options.cutting = false;
+  options.power_policy = power::DistributionPolicy::kEqualSharing;
+  Harness h(1, 20.0, options);  // one core, 2 GHz cap
+  // 600 units in 0.15 s needs 4 GHz; only ~300 units fit.
+  workload::Job* job = h.add_job(0.0, 0.15, 600.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  EXPECT_NEAR(job->executed, 300.0, 1.0);
+}
+
+TEST(GoodEnough, ConcaveSplitAcrossEqualJobsUnderCap) {
+  GoodEnoughOptions options;
+  options.cutting = false;
+  options.power_policy = power::DistributionPolicy::kEqualSharing;
+  Harness h(1, 20.0, options);
+  // A short blocker keeps the core busy so the two equal jobs accumulate in
+  // the waiting queue; the idle-core trigger then plans them jointly.  With
+  // capacity for only ~340 of their 600 units, concavity demands an even
+  // split rather than one job completing.
+  h.add_job(0.0, 0.05, 100.0);
+  workload::Job* a = h.add_job(0.01, 0.20, 300.0);
+  workload::Job* b = h.add_job(0.02, 0.20, 300.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  // Joint capacity from t=0.05 to b's deadline 0.22 at 2000 u/s is 340.
+  EXPECT_NEAR(a->executed + b->executed, 340.0, 2.0);
+  EXPECT_NEAR(a->executed, b->executed, 12.0);
+}
+
+TEST(GoodEnough, CrrSpreadsBatchAcrossCores) {
+  GoodEnoughOptions options;
+  options.counter_threshold = 4;
+  Harness h(4, 80.0, options);
+  for (int i = 0; i < 4; ++i) {
+    h.add_job(0.0, 0.15, 300.0);
+  }
+  h.sim.run_until(0.01);
+  int used_cores = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (!h.server.core(i).queue().empty() || h.server.core(i).busy(0.01)) {
+      ++used_cores;
+    }
+  }
+  EXPECT_EQ(used_cores, 4);
+}
+
+TEST(GoodEnough, AesTimeFractionTracksModes) {
+  GoodEnoughOptions options;
+  Harness h(2, 40.0, options);
+  h.add_job(0.0, 0.3, 300.0);  // comfortably feasible under the cap
+  h.sim.run_until(2.0);
+  const double aes = h.scheduler->aes_time(2.0);
+  const double bq = h.scheduler->bq_time(2.0);
+  EXPECT_NEAR(aes + bq, 2.0, 1e-6);
+  EXPECT_GT(aes, 1.9);  // nothing pushed quality below target
+}
+
+TEST(GoodEnough, RoundsCounted) {
+  Harness h;
+  h.add_job(0.0, 0.15, 300.0);
+  h.sim.run_until(2.0);
+  EXPECT_GT(h.scheduler->rounds(), 0u);
+}
+
+TEST(GoodEnough, HybridUsesEsUnderLightLoad) {
+  GoodEnoughOptions options;
+  options.power_policy = power::DistributionPolicy::kHybrid;
+  options.critical_load = 154.0;
+  Harness h(2, 40.0, options);
+  for (int i = 0; i < 5; ++i) {
+    h.add_job(0.1 * i, 0.15, 300.0);  // ~10 req/s: far below critical
+  }
+  h.sim.run_until(2.0);
+  h.scheduler->finish();
+  EXPECT_GT(h.scheduler->es_rounds(), 0u);
+  EXPECT_EQ(h.scheduler->wf_rounds(), 0u);
+}
+
+TEST(GoodEnough, ReCutExtendsRunningJobInBqMode) {
+  GoodEnoughOptions options;
+  options.q_ge = 0.9;
+  options.quantum = 0.02;  // frequent rounds
+  Harness h(2, 40.0, options);
+  workload::Job* job = h.add_job(0.0, 0.5, 800.0);
+  // After the job starts (cut to ~0.9), poison the monitor so the next
+  // round compensates and raises the target back to the full demand.
+  h.sim.schedule_at(0.01, [&h] {
+    for (int i = 0; i < 20; ++i) {
+      h.monitor.settle(0.0, 500.0);
+    }
+  });
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  EXPECT_NEAR(job->executed, 800.0, 1e-6);
+}
+
+TEST(GoodEnough, BeSSpeedCapLimitsSpeed) {
+  GoodEnoughOptions options;
+  options.cutting = false;
+  options.core_speed_cap = 1000.0;  // 1 GHz
+  options.power_policy = power::DistributionPolicy::kWaterFilling;
+  Harness h(1, 20.0, options);
+  workload::Job* job = h.add_job(0.0, 0.15, 600.0);
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  // At most 1 GHz * 0.15 s = 150 units.
+  EXPECT_NEAR(job->executed, 150.0, 1.0);
+  EXPECT_LE(h.server.aggregate_speed_stats().mean(), 1000.0 + 1e-6);
+}
+
+TEST(GoodEnough, DiscreteSpeedsStayOnLadder) {
+  power::DiscreteSpeedTable table = power::DiscreteSpeedTable::uniform_ghz(0.2, 3.2);
+  GoodEnoughOptions options;
+  options.speed_table = &table;
+  Harness h(2, 40.0, options);
+  for (int i = 0; i < 6; ++i) {
+    h.add_job(0.02 * i, 0.15, 400.0);
+  }
+  std::vector<double> speeds;
+  for (double t = 0.005; t < 0.3; t += 0.005) {
+    h.sim.schedule_at(t, [&h, &speeds] {
+      for (std::size_t c = 0; c < 2; ++c) {
+        const double s = h.server.core(c).current_speed(h.sim.now());
+        if (s > 0.0) {
+          speeds.push_back(s);
+        }
+      }
+    });
+  }
+  h.sim.run_until(1.0);
+  h.scheduler->finish();
+  ASSERT_FALSE(speeds.empty());
+  for (double s : speeds) {
+    EXPECT_TRUE(table.is_level(s)) << s;
+  }
+}
+
+}  // namespace
+}  // namespace ge::sched

@@ -1,0 +1,182 @@
+// Tests for Longest-First job cutting (Sec. III-B).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "opt/job_cutter.h"
+#include "quality/quality_function.h"
+#include "util/rng.h"
+
+namespace ge::opt {
+namespace {
+
+using quality::ExponentialQuality;
+
+const ExponentialQuality& paper_f() {
+  static const ExponentialQuality f(0.003, 1000.0);
+  return f;
+}
+
+TEST(JobCutter, NoCutWhenTargetIsOne) {
+  const std::vector<double> demands{900.0, 500.0, 200.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 1.0);
+  EXPECT_TRUE(cut.uncut);
+  EXPECT_EQ(cut.targets, demands);
+  EXPECT_DOUBLE_EQ(cut.quality, 1.0);
+}
+
+TEST(JobCutter, EmptyBatch) {
+  const CutResult cut = cut_longest_first({}, paper_f(), 0.9);
+  EXPECT_TRUE(cut.uncut);
+  EXPECT_TRUE(cut.targets.empty());
+}
+
+TEST(JobCutter, AchievesTargetQuality) {
+  const std::vector<double> demands{1000.0, 700.0, 400.0, 150.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.9);
+  EXPECT_NEAR(cut.quality, 0.9, 1e-6);
+}
+
+TEST(JobCutter, TargetsNeverExceedDemands) {
+  const std::vector<double> demands{1000.0, 700.0, 400.0, 150.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.8);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_LE(cut.targets[i], demands[i] + 1e-9);
+    EXPECT_GE(cut.targets[i], 0.0);
+  }
+}
+
+TEST(JobCutter, CutsLongestJobsFirst) {
+  // With a mild target only the longest job should lose work.
+  const std::vector<double> demands{1000.0, 400.0, 150.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.97);
+  EXPECT_LT(cut.targets[0], 1000.0);
+  EXPECT_DOUBLE_EQ(cut.targets[1], 400.0);
+  EXPECT_DOUBLE_EQ(cut.targets[2], 150.0);
+}
+
+TEST(JobCutter, CutJobsShareACommonLevel) {
+  const std::vector<double> demands{1000.0, 900.0, 800.0, 100.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.7);
+  // All cut jobs end at the same level (the paper's step-5 closed form).
+  EXPECT_NEAR(cut.targets[0], cut.level, 1e-9);
+  EXPECT_NEAR(cut.targets[1], cut.level, 1e-9);
+  EXPECT_NEAR(cut.targets[2], cut.level, 1e-9);
+  EXPECT_DOUBLE_EQ(cut.targets[3], 100.0);  // below the level: untouched
+}
+
+TEST(JobCutter, SingleJobClosedForm) {
+  const std::vector<double> demands{800.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.9);
+  // f(c) = 0.9 * f(800).
+  const double expected = paper_f().inverse(0.9 * paper_f().value(800.0));
+  EXPECT_NEAR(cut.targets[0], expected, 1e-6);
+  EXPECT_NEAR(cut.quality, 0.9, 1e-9);
+}
+
+TEST(JobCutter, AllEqualDemands) {
+  const std::vector<double> demands{500.0, 500.0, 500.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.9);
+  EXPECT_NEAR(cut.quality, 0.9, 1e-6);
+  for (double t : cut.targets) {
+    EXPECT_NEAR(t, cut.targets[0], 1e-9);
+    EXPECT_LT(t, 500.0);
+  }
+}
+
+TEST(JobCutter, ZeroTargetCutsEverything) {
+  const std::vector<double> demands{500.0, 300.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.0);
+  EXPECT_NEAR(cut.quality, 0.0, 1e-6);
+  for (double t : cut.targets) {
+    EXPECT_NEAR(t, 0.0, 1e-6);
+  }
+}
+
+TEST(JobCutter, MatchesBisectionSolver) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    std::vector<double> demands(n);
+    for (double& d : demands) {
+      d = rng.uniform(130.0, 1000.0);
+    }
+    const double target = rng.uniform(0.5, 0.99);
+    const CutResult cut = cut_longest_first(demands, paper_f(), target);
+    const double level = cut_level_for_quality(demands, paper_f(), target);
+    EXPECT_NEAR(cut.quality, target, 1e-6)
+        << "n=" << n << " target=" << target;
+    EXPECT_NEAR(cut.level, level, 1.0);  // both hit the same quality level
+  }
+}
+
+TEST(JobCutter, SavedWorkIsPositiveForConcaveF) {
+  // Cutting to 0.9 quality must remove strictly more than 10% of the work:
+  // that asymmetry is the whole point of exploiting diminishing returns.
+  const std::vector<double> demands{1000.0, 800.0, 600.0, 400.0, 200.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.9);
+  double total = 0.0;
+  double kept = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    total += demands[i];
+    kept += cut.targets[i];
+  }
+  EXPECT_LT(kept / total, 0.9);
+}
+
+TEST(JobCutter, IterationsBoundedByDistinctLevels) {
+  const std::vector<double> demands{1000.0, 900.0, 800.0, 700.0};
+  const CutResult cut = cut_longest_first(demands, paper_f(), 0.5);
+  EXPECT_LE(cut.iterations, 4);
+  EXPECT_GE(cut.iterations, 1);
+}
+
+TEST(BatchQuality, Formula) {
+  const std::vector<double> demands{400.0, 600.0};
+  const std::vector<double> targets{200.0, 600.0};
+  const double expected = (paper_f().value(200.0) + paper_f().value(600.0)) /
+                          (paper_f().value(400.0) + paper_f().value(600.0));
+  EXPECT_NEAR(batch_quality(targets, demands, paper_f()), expected, 1e-12);
+}
+
+// Property sweep across quality targets: the cut always achieves the target
+// (within tolerance) and is order-independent.
+class CutterTargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CutterTargetSweep, AchievesTarget) {
+  util::Rng rng(7);
+  std::vector<double> demands(20);
+  for (double& d : demands) {
+    d = rng.uniform(130.0, 1000.0);
+  }
+  const CutResult cut = cut_longest_first(demands, paper_f(), GetParam());
+  EXPECT_NEAR(cut.quality, GetParam(), 1e-6);
+}
+
+TEST_P(CutterTargetSweep, OrderInvariant) {
+  util::Rng rng(8);
+  std::vector<double> demands(15);
+  for (double& d : demands) {
+    d = rng.uniform(130.0, 1000.0);
+  }
+  const CutResult sorted_cut = cut_longest_first(demands, paper_f(), GetParam());
+  std::vector<double> shuffled = demands;
+  std::reverse(shuffled.begin(), shuffled.end());
+  const CutResult reversed_cut = cut_longest_first(shuffled, paper_f(), GetParam());
+  EXPECT_NEAR(sorted_cut.level, reversed_cut.level, 1e-6);
+  EXPECT_NEAR(sorted_cut.quality, reversed_cut.quality, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CutterTargetSweep,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9, 0.95, 0.99));
+
+TEST(CutLevelForQuality, EdgeCases) {
+  const std::vector<double> demands{500.0, 300.0};
+  EXPECT_DOUBLE_EQ(cut_level_for_quality(demands, paper_f(), 1.0), 500.0);
+  EXPECT_DOUBLE_EQ(cut_level_for_quality(demands, paper_f(), 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cut_level_for_quality({}, paper_f(), 0.9), 0.0);
+}
+
+}  // namespace
+}  // namespace ge::opt

@@ -1,0 +1,149 @@
+// Randomised end-to-end property suite: whole-system invariants that must
+// hold for ANY configuration -- random core counts, budgets, rates,
+// deadline regimes, burstiness, DVFS mode, monitor horizon, quality family
+// and scheduler.  This is the fuzzing layer over the full stack.
+#include <gtest/gtest.h>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "exp/timeline.h"
+#include "util/rng.h"
+
+namespace ge::exp {
+namespace {
+
+struct RandomCase {
+  ExperimentConfig cfg;
+  SchedulerSpec spec;
+  std::string description;
+};
+
+RandomCase make_case(std::uint64_t seed) {
+  util::Rng rng(seed * 7919 + 1);
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.seed = seed;
+  cfg.duration = 2.0 + rng.uniform(0.0, 2.0);
+  cfg.cores = 1 + rng.uniform_index(32);
+  cfg.power_budget = rng.uniform(40.0, 500.0);
+  cfg.arrival_rate = rng.uniform(20.0, 260.0);
+  cfg.q_ge = rng.uniform(0.5, 0.99);
+  cfg.quantum = rng.uniform(0.05, 1.0);
+  cfg.counter_threshold = 1 + static_cast<int>(rng.uniform_index(16));
+  cfg.critical_load = rng.uniform(50.0, 250.0);
+  cfg.monitor_window = rng.uniform_index(3) == 0 ? 500 : 0;
+  cfg.discrete_speeds = rng.uniform_index(3) == 0;
+  if (rng.uniform_index(3) == 0) {
+    cfg.deadline_interval_max = 0.5;  // random windows
+  }
+  if (rng.uniform_index(4) == 0) {
+    cfg.burst_peak_to_mean = rng.uniform(1.5, 3.5);
+  }
+  switch (rng.uniform_index(3)) {
+    case 0:
+      cfg.quality_family = QualityFamily::kExponential;
+      cfg.quality_c = rng.uniform(0.0005, 0.01);
+      break;
+    case 1:
+      cfg.quality_family = QualityFamily::kLinear;
+      break;
+    default:
+      cfg.quality_family = QualityFamily::kPowerLaw;
+      cfg.quality_c = rng.uniform(0.2, 0.9);
+      break;
+  }
+  static const char* kNames[] = {"GE",   "GE-NoComp", "GE-ES", "GE-WF", "OQ",
+                                 "BE",   "FCFS",      "FDFS",  "LJF",   "SJF"};
+  const SchedulerSpec spec =
+      SchedulerSpec::parse(kNames[rng.uniform_index(std::size(kNames))]);
+  RandomCase c{cfg, spec, ""};
+  c.description = "seed=" + std::to_string(seed) + " " + spec.display_name() +
+                  " m=" + std::to_string(cfg.cores) +
+                  " H=" + std::to_string(cfg.power_budget) +
+                  " rate=" + std::to_string(cfg.arrival_rate) +
+                  (cfg.discrete_speeds ? " discrete" : "") +
+                  (cfg.burst_peak_to_mean > 1.0 ? " bursty" : "");
+  return c;
+}
+
+class RandomConfigProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomConfigProperties, SystemInvariantsHold) {
+  const RandomCase c = make_case(GetParam());
+  SCOPED_TRACE(c.description);
+  const workload::Trace trace =
+      workload::Trace::generate(c.cfg.workload_spec(), c.cfg.duration);
+  Timeline timeline;
+  timeline.interval = 0.05;
+  const RunResult r = run_simulation(c.cfg, c.spec, trace, &timeline);
+
+  // Conservation: every released job is settled and classified exactly once.
+  ASSERT_EQ(r.released, trace.size());
+  ASSERT_EQ(r.released, r.completed + r.partial + r.dropped);
+
+  // Quality is a valid average.
+  ASSERT_GE(r.quality, 0.0);
+  ASSERT_LE(r.quality, 1.0 + 1e-9);
+
+  // Energy is bounded by running every core at the budget for the horizon.
+  const double horizon = c.cfg.duration + c.cfg.deadline_interval_max +
+                         2.0 * c.cfg.quantum;
+  ASSERT_GE(r.energy, 0.0);
+  ASSERT_LE(r.energy, c.cfg.power_budget * horizon * (1.0 + 1e-6));
+
+  // Instantaneous power never exceeded the budget at any sample.
+  ASSERT_LE(timeline.peak_power(), c.cfg.power_budget * (1.0 + 1e-6));
+
+  // Responses happen inside the deadline window.
+  ASSERT_LE(r.p99_response_ms,
+            c.cfg.deadline_interval_max * 1000.0 + 1e-6);
+  ASSERT_GE(r.p50_response_ms, 0.0);
+
+  // Mode accounting is a valid fraction.
+  ASSERT_GE(r.aes_fraction, 0.0);
+  ASSERT_LE(r.aes_fraction, 1.0 + 1e-9);
+
+  // Busy fraction is physical.
+  ASSERT_GE(r.busy_fraction, 0.0);
+  ASSERT_LE(r.busy_fraction, 1.0 + 1e-9);
+}
+
+TEST_P(RandomConfigProperties, DeterministicReplay) {
+  const RandomCase c = make_case(GetParam());
+  SCOPED_TRACE(c.description);
+  const workload::Trace trace =
+      workload::Trace::generate(c.cfg.workload_spec(), c.cfg.duration);
+  const RunResult a = run_simulation(c.cfg, c.spec, trace);
+  const RunResult b = run_simulation(c.cfg, c.spec, trace);
+  ASSERT_DOUBLE_EQ(a.quality, b.quality);
+  ASSERT_DOUBLE_EQ(a.energy, b.energy);
+  ASSERT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.dropped, b.dropped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomConfigProperties,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// Cross-scheduler invariants on a shared trace.
+class CrossSchedulerProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossSchedulerProperties, BeDominatesQualityGeDominatesEnergy) {
+  util::Rng rng(GetParam() * 131 + 7);
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.seed = GetParam();
+  cfg.duration = 4.0;
+  cfg.arrival_rate = rng.uniform(80.0, 170.0);  // below deep overload
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult ge = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+  const RunResult be = run_simulation(cfg, SchedulerSpec::parse("BE"), trace);
+  ASSERT_GE(be.quality, ge.quality - 5e-3);
+  ASSERT_LE(ge.energy, be.energy * 1.001);
+  ASSERT_GE(ge.quality, cfg.q_ge - 0.02);  // the promise holds sub-overload
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSchedulerProperties,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ge::exp

@@ -1,0 +1,162 @@
+// Behavioural tests for the FCFS/FDFS/LJF/SJF baselines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/queue_policy.h"
+#include "quality/quality_function.h"
+#include "quality/quality_monitor.h"
+
+namespace ge::sched {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  power::PowerModel pm{5.0, 2.0, 1000.0};
+  server::MulticoreServer server;
+  quality::ExponentialQuality f{0.003, 1000.0};
+  quality::QualityMonitor monitor{f};
+  std::unique_ptr<QueuePolicyScheduler> scheduler;
+  std::vector<std::unique_ptr<workload::Job>> jobs;
+
+  explicit Harness(QueueOrder order, std::size_t cores = 1, double budget = 20.0)
+      : server(cores, budget, pm, sim) {
+    QueuePolicyOptions options;
+    options.order = order;
+    SchedulerEnv env{&sim, &server, &f, &monitor};
+    scheduler = std::make_unique<QueuePolicyScheduler>(env, options);
+    for (std::size_t i = 0; i < cores; ++i) {
+      server.core(i).set_job_finished_callback(
+          [this](workload::Job* j) { scheduler->on_job_finished(j); });
+      server.core(i).set_idle_callback(
+          [this](int id) { scheduler->on_core_idle(id); });
+    }
+    scheduler->start();
+  }
+
+  workload::Job* add_job(double arrival, double window, double demand) {
+    auto job = std::make_unique<workload::Job>();
+    job->id = jobs.size() + 1;
+    job->arrival = arrival;
+    job->deadline = arrival + window;
+    job->demand = demand;
+    job->target = demand;
+    workload::Job* ptr = job.get();
+    jobs.push_back(std::move(job));
+    sim.schedule_at(arrival, [this, ptr] { scheduler->on_job_arrival(ptr); });
+    sim.schedule_at(ptr->deadline, [this, ptr] { scheduler->on_deadline(ptr); });
+    return ptr;
+  }
+
+  void run() {
+    sim.run_until(5.0);
+    scheduler->finish();
+  }
+};
+
+TEST(QueuePolicy, SingleJobRunsAtSlowestFeasibleSpeed) {
+  Harness h(QueueOrder::kFcfs);
+  workload::Job* job = h.add_job(0.0, 0.2, 200.0);
+  h.run();
+  EXPECT_NEAR(job->executed, 200.0, 1e-6);
+  // Slowest feasible speed: 200 units / 0.2 s = 1000 u/s -> 5 W * 0.2 s = 1 J.
+  EXPECT_NEAR(h.server.total_energy(), 1.0, 1e-6);
+}
+
+TEST(QueuePolicy, CapBindsPartialExecution) {
+  Harness h(QueueOrder::kFcfs);
+  // 600 units in 0.15 s needs 4 GHz; the 20 W cap allows 2 GHz -> 300 units.
+  workload::Job* job = h.add_job(0.0, 0.15, 600.0);
+  h.run();
+  EXPECT_NEAR(job->executed, 300.0, 1e-6);
+  EXPECT_LT(h.monitor.quality(), 1.0);
+}
+
+TEST(QueuePolicy, FcfsPicksEarliestArrival) {
+  Harness h(QueueOrder::kFcfs);
+  workload::Job* blocker = h.add_job(0.0, 1.0, 1000.0);  // occupies the core
+  workload::Job* early = h.add_job(0.01, 2.0, 100.0);
+  workload::Job* late = h.add_job(0.02, 0.5, 100.0);
+  h.run();
+  (void)blocker;
+  // Both waiting jobs eventually run, but FCFS starts `early` first.  Verify
+  // by checking `early` completed (it always can) and that when deadlines
+  // conflict FCFS ignores them: give `late` the earlier deadline yet later
+  // arrival -- it still runs second.
+  EXPECT_NEAR(early->executed, 100.0, 1e-6);
+  EXPECT_GE(early->executed, late->executed);
+}
+
+TEST(QueuePolicy, FdfsPicksEarliestDeadline) {
+  Harness h(QueueOrder::kFdfs);
+  h.add_job(0.0, 1.0, 1000.0);  // blocker until t=1
+  workload::Job* urgent = h.add_job(0.01, 1.15, 200.0);   // deadline 1.16
+  workload::Job* relaxed = h.add_job(0.005, 3.0, 200.0);  // deadline 3.005
+  h.run();
+  // FDFS must run `urgent` first even though `relaxed` arrived earlier.
+  EXPECT_NEAR(urgent->executed, 200.0, 1e-6);
+  EXPECT_NEAR(relaxed->executed, 200.0, 1e-6);
+}
+
+TEST(QueuePolicy, SjfPrefersShortJob) {
+  Harness h(QueueOrder::kSjf);
+  h.add_job(0.0, 0.5, 900.0);  // blocker
+  workload::Job* long_job = h.add_job(0.01, 0.46, 800.0);
+  workload::Job* short_job = h.add_job(0.02, 0.47, 140.0);
+  h.run();
+  // One slot frees at ~0.45 s (blocker cut at deadline 0.5? blocker runs to
+  // 0.5); by then both candidates are close to their deadlines; SJF runs the
+  // short one.
+  EXPECT_GE(short_job->executed, long_job->executed);
+}
+
+TEST(QueuePolicy, LjfPrefersLongJob) {
+  Harness h(QueueOrder::kLjf);
+  h.add_job(0.0, 0.2, 400.0);  // blocker until 0.2
+  workload::Job* long_job = h.add_job(0.01, 0.5, 800.0);
+  workload::Job* short_job = h.add_job(0.02, 0.25, 140.0);
+  h.run();
+  // LJF dispatches the long job when the core frees at 0.2; the short job
+  // expires at 0.27 while waiting.
+  EXPECT_GT(long_job->executed, 0.0);
+  EXPECT_NEAR(short_job->executed, 0.0, 1e-9);
+}
+
+TEST(QueuePolicy, ExpiredQueueJobsDiscarded) {
+  Harness h(QueueOrder::kFcfs);
+  h.add_job(0.0, 1.0, 1000.0);                        // blocker until 1.0
+  workload::Job* doomed = h.add_job(0.01, 0.1, 500.0);  // expires at 0.11
+  h.run();
+  EXPECT_TRUE(doomed->settled);
+  EXPECT_NEAR(doomed->executed, 0.0, 1e-9);
+}
+
+TEST(QueuePolicy, MultipleCoresRunInParallel) {
+  Harness h(QueueOrder::kFcfs, 2, 40.0);
+  workload::Job* a = h.add_job(0.0, 0.2, 200.0);
+  workload::Job* b = h.add_job(0.0, 0.2, 200.0);
+  h.run();
+  EXPECT_NEAR(a->executed, 200.0, 1e-6);
+  EXPECT_NEAR(b->executed, 200.0, 1e-6);
+}
+
+TEST(QueuePolicy, SchedulerNames) {
+  EXPECT_EQ(Harness(QueueOrder::kFcfs).scheduler->name(), "FCFS");
+  EXPECT_EQ(Harness(QueueOrder::kFdfs).scheduler->name(), "FDFS");
+  EXPECT_EQ(Harness(QueueOrder::kLjf).scheduler->name(), "LJF");
+  EXPECT_EQ(Harness(QueueOrder::kSjf).scheduler->name(), "SJF");
+}
+
+TEST(QueuePolicy, FinishSettlesEverything) {
+  Harness h(QueueOrder::kFcfs);
+  h.add_job(0.0, 10.0, 1000.0);
+  h.add_job(0.0, 10.0, 1000.0);
+  h.sim.run_until(0.01);  // nothing finished yet
+  h.scheduler->finish();
+  for (const auto& job : h.jobs) {
+    EXPECT_TRUE(job->settled);
+  }
+}
+
+}  // namespace
+}  // namespace ge::sched

@@ -1,0 +1,174 @@
+// Tests for config validation and the report helpers.
+#include <gtest/gtest.h>
+
+#include "exp/config.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+
+namespace ge::exp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = 130.0;
+  cfg.duration = 3.0;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ConfigValidate, PaperDefaultsAreValid) {
+  ExperimentConfig::paper_defaults().validate();  // must not abort
+}
+
+TEST(ConfigValidate, RejectsZeroCores) {
+  ExperimentConfig cfg = small_config();
+  cfg.cores = 0;
+  EXPECT_DEATH(cfg.validate(), "core");
+}
+
+TEST(ConfigValidate, RejectsNegativeBudget) {
+  ExperimentConfig cfg = small_config();
+  cfg.power_budget = -5.0;
+  EXPECT_DEATH(cfg.validate(), "budget");
+}
+
+TEST(ConfigValidate, RejectsQgeOutOfRange) {
+  ExperimentConfig cfg = small_config();
+  cfg.q_ge = 1.5;
+  EXPECT_DEATH(cfg.validate(), "Q_GE");
+}
+
+TEST(ConfigValidate, RejectsInvertedDeadlineWindow) {
+  ExperimentConfig cfg = small_config();
+  cfg.deadline_interval_max = cfg.deadline_interval / 2.0;
+  EXPECT_DEATH(cfg.validate(), "deadline");
+}
+
+TEST(ConfigValidate, RejectsBadPowerLawExponent) {
+  ExperimentConfig cfg = small_config();
+  cfg.quality_family = QualityFamily::kPowerLaw;
+  cfg.quality_c = 1.5;
+  EXPECT_DEATH(cfg.validate(), "power-law");
+}
+
+TEST(ConfigValidate, RejectsTooManyFailedCores) {
+  ExperimentConfig cfg = small_config();
+  cfg.failure_cores = cfg.cores + 1;
+  EXPECT_DEATH(cfg.validate(), "fail");
+}
+
+TEST(ConfigValidate, RunnerValidatesImplicitly) {
+  ExperimentConfig cfg = small_config();
+  cfg.arrival_rate = -1.0;
+  EXPECT_DEATH((void)run_simulation(cfg, SchedulerSpec{}), "arrival rate");
+}
+
+TEST(Report, SummaryContainsHeadlineNumbers) {
+  const ExperimentConfig cfg = small_config();
+  const RunResult r = run_simulation(cfg, SchedulerSpec{});
+  const std::string text = summarize(r, cfg);
+  EXPECT_NE(text.find("GE"), std::string::npos);
+  EXPECT_NE(text.find("quality"), std::string::npos);
+  EXPECT_NE(text.find("energy"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(Report, JsonIsWellFormedAndComplete) {
+  const ExperimentConfig cfg = small_config();
+  const RunResult r = run_simulation(cfg, SchedulerSpec{});
+  const std::string json = to_json(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"scheduler", "arrival_rate", "quality", "energy_j", "aes_fraction",
+        "p99_response_ms", "released", "completed", "dropped", "rounds"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos) << key;
+  }
+  // Balanced quotes: an even count.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(Report, JsonValuesMatchResult) {
+  const ExperimentConfig cfg = small_config();
+  const RunResult r = run_simulation(cfg, SchedulerSpec{});
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"released\": " + std::to_string(r.released)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\": \"GE\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ge::exp
+
+// -- command-line -> config binding ------------------------------------------
+
+#include "exp/flags_config.h"
+
+namespace ge::exp {
+namespace {
+
+TEST(FlagsConfig, OverridesCoreFields) {
+  const char* argv[] = {"prog",          "--rate",    "180", "--cores", "8",
+                        "--budget",      "160",       "--qge", "0.8",
+                        "--seconds",     "12",        "--seed", "9"};
+  const util::Flags flags(static_cast<int>(std::size(argv)), argv);
+  const ExperimentConfig cfg =
+      apply_flags(ExperimentConfig::paper_defaults(), flags);
+  EXPECT_DOUBLE_EQ(cfg.arrival_rate, 180.0);
+  EXPECT_EQ(cfg.cores, 8u);
+  EXPECT_DOUBLE_EQ(cfg.power_budget, 160.0);
+  EXPECT_DOUBLE_EQ(cfg.q_ge, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.duration, 12.0);
+  EXPECT_EQ(cfg.seed, 9u);
+}
+
+TEST(FlagsConfig, DefaultsUntouchedWithoutFlags) {
+  const char* argv[] = {"prog"};
+  const util::Flags flags(1, argv);
+  const ExperimentConfig cfg =
+      apply_flags(ExperimentConfig::paper_defaults(), flags);
+  EXPECT_DOUBLE_EQ(cfg.arrival_rate, 150.0);
+  EXPECT_EQ(cfg.cores, 16u);
+  EXPECT_FALSE(cfg.discrete_speeds);
+}
+
+TEST(FlagsConfig, DeadlinesGivenInMilliseconds) {
+  const char* argv[] = {"prog", "--deadline", "200", "--deadline-max", "600"};
+  const util::Flags flags(5, argv);
+  const ExperimentConfig cfg =
+      apply_flags(ExperimentConfig::paper_defaults(), flags);
+  EXPECT_DOUBLE_EQ(cfg.deadline_interval, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.deadline_interval_max, 0.6);
+}
+
+TEST(FlagsConfig, QualityFamilySelection) {
+  const char* argv[] = {"prog", "--quality-family", "powerlaw", "--quality-c",
+                        "0.5"};
+  const util::Flags flags(5, argv);
+  const ExperimentConfig cfg =
+      apply_flags(ExperimentConfig::paper_defaults(), flags);
+  EXPECT_EQ(cfg.quality_family, QualityFamily::kPowerLaw);
+  EXPECT_DOUBLE_EQ(cfg.quality_c, 0.5);
+}
+
+TEST(FlagsConfig, UnknownFamilyDies) {
+  const char* argv[] = {"prog", "--quality-family", "cubic"};
+  const util::Flags flags(3, argv);
+  EXPECT_DEATH((void)apply_flags(ExperimentConfig::paper_defaults(), flags),
+               "quality family");
+}
+
+TEST(FlagsConfig, FailureAndDiscreteFlags) {
+  const char* argv[] = {"prog", "--discrete", "--failure-time", "5",
+                        "--failure-cores", "4"};
+  const util::Flags flags(6, argv);
+  const ExperimentConfig cfg =
+      apply_flags(ExperimentConfig::paper_defaults(), flags);
+  EXPECT_TRUE(cfg.discrete_speeds);
+  EXPECT_DOUBLE_EQ(cfg.failure_time, 5.0);
+  EXPECT_EQ(cfg.failure_cores, 4u);
+}
+
+}  // namespace
+}  // namespace ge::exp

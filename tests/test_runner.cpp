@@ -1,0 +1,289 @@
+// Tests for the experiment runner, scheduler specs, config and sweeps.
+#include <gtest/gtest.h>
+
+#include "exp/calibrate.h"
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "exp/sweep.h"
+
+namespace ge::exp {
+namespace {
+
+ExperimentConfig small_config(double rate = 120.0, double seconds = 4.0) {
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = rate;
+  cfg.duration = seconds;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Config, PaperDefaultsMatchSectionIVB) {
+  const ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  EXPECT_EQ(cfg.cores, 16u);
+  EXPECT_DOUBLE_EQ(cfg.power_budget, 320.0);
+  EXPECT_DOUBLE_EQ(cfg.q_ge, 0.9);
+  EXPECT_DOUBLE_EQ(cfg.quality_c, 0.003);
+  EXPECT_DOUBLE_EQ(cfg.deadline_interval, 0.150);
+  EXPECT_DOUBLE_EQ(cfg.critical_load, 154.0);
+  EXPECT_DOUBLE_EQ(cfg.quantum, 0.5);
+  EXPECT_EQ(cfg.counter_threshold, 8);
+}
+
+TEST(Config, DerivedQuantities) {
+  const ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  EXPECT_NEAR(cfg.mean_demand(), 192.1, 0.5);
+  // 16 cores at 2 GHz = 32000 units/s.
+  EXPECT_NEAR(cfg.nominal_capacity(), 32000.0, 1e-6);
+  EXPECT_NEAR(cfg.saturation_rate(), 32000.0 / cfg.mean_demand(), 1e-6);
+}
+
+TEST(SchedulerSpec, ParseRoundTrip) {
+  for (const char* name :
+       {"GE", "OQ", "BE", "BE-P", "BE-S", "FCFS", "FDFS", "LJF", "SJF",
+        "GE-NoComp", "GE-ES", "GE-WF"}) {
+    const SchedulerSpec spec = SchedulerSpec::parse(name);
+    // display_name for the parameterised specs includes the parameter;
+    // prefix match is the contract.
+    EXPECT_EQ(spec.display_name().rfind(SchedulerSpec::parse(name).display_name(), 0),
+              0u)
+        << name;
+  }
+  EXPECT_EQ(SchedulerSpec::parse("ge").algo, Algorithm::kGe);
+  EXPECT_EQ(SchedulerSpec::parse("fcfs").algo, Algorithm::kFcfs);
+}
+
+TEST(SchedulerSpec, UnknownNameDies) {
+  EXPECT_DEATH((void)SchedulerSpec::parse("NOPE"), "unknown scheduler");
+}
+
+TEST(SchedulerSpec, EffectiveBudgetScalesForBeP) {
+  const ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  SchedulerSpec spec;
+  spec.algo = Algorithm::kBeP;
+  spec.budget_scale = 0.5;
+  EXPECT_DOUBLE_EQ(effective_budget(spec, cfg), 160.0);
+  spec.algo = Algorithm::kGe;
+  EXPECT_DOUBLE_EQ(effective_budget(spec, cfg), 320.0);
+}
+
+TEST(Runner, DeterministicForSeed) {
+  const ExperimentConfig cfg = small_config();
+  const RunResult a = run_simulation(cfg, SchedulerSpec{});
+  const RunResult b = run_simulation(cfg, SchedulerSpec{});
+  EXPECT_DOUBLE_EQ(a.quality, b.quality);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.released, b.released);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  ExperimentConfig cfg = small_config();
+  const RunResult a = run_simulation(cfg, SchedulerSpec{});
+  cfg.seed = 43;
+  const RunResult b = run_simulation(cfg, SchedulerSpec{});
+  EXPECT_NE(a.energy, b.energy);
+}
+
+TEST(Runner, AllJobsAccounted) {
+  const RunResult r = run_simulation(small_config(), SchedulerSpec{});
+  EXPECT_GT(r.released, 0u);
+  EXPECT_EQ(r.released, r.completed + r.partial + r.dropped);
+}
+
+TEST(Runner, PowerBudgetNeverExceeded) {
+  ExperimentConfig cfg = small_config(220.0, 3.0);  // overload stresses caps
+  cfg.verify_power = true;  // samples total power and GE_CHECKs the budget
+  const RunResult r = run_simulation(cfg, SchedulerSpec{});
+  EXPECT_GT(r.released, 0u);
+}
+
+TEST(Runner, PowerBudgetNeverExceededDiscrete) {
+  ExperimentConfig cfg = small_config(220.0, 3.0);
+  cfg.verify_power = true;
+  cfg.discrete_speeds = true;
+  const RunResult r = run_simulation(cfg, SchedulerSpec{});
+  EXPECT_GT(r.released, 0u);
+}
+
+TEST(Runner, BeAchievesFullQualityAtLightLoad) {
+  const RunResult r =
+      run_simulation(small_config(60.0, 4.0), SchedulerSpec::parse("BE"));
+  EXPECT_GT(r.quality, 0.99);
+}
+
+TEST(Runner, GeHoldsQualityNearTarget) {
+  const RunResult r = run_simulation(small_config(120.0, 8.0), SchedulerSpec{});
+  EXPECT_GT(r.quality, 0.85);
+  EXPECT_LT(r.quality, 0.97);  // and it does exploit the slack
+}
+
+TEST(Runner, GeSavesEnergyVersusBe) {
+  const ExperimentConfig cfg = small_config(150.0, 8.0);
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult ge = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+  const RunResult be = run_simulation(cfg, SchedulerSpec::parse("BE"), trace);
+  EXPECT_LT(ge.energy, be.energy);
+  EXPECT_GE(be.quality, ge.quality - 1e-9);
+}
+
+TEST(Runner, AesFractionWithinBounds) {
+  const RunResult r = run_simulation(small_config(), SchedulerSpec{});
+  EXPECT_GE(r.aes_fraction, 0.0);
+  EXPECT_LE(r.aes_fraction, 1.0);
+  // BE never enters AES.
+  const RunResult be = run_simulation(small_config(), SchedulerSpec::parse("BE"));
+  EXPECT_DOUBLE_EQ(be.aes_fraction, 0.0);
+}
+
+TEST(Runner, SharedTraceMakesComparisonsPaired) {
+  const ExperimentConfig cfg = small_config();
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult a = run_simulation(cfg, SchedulerSpec{}, trace);
+  const RunResult b = run_simulation(cfg, SchedulerSpec{}, trace);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.released, trace.size());
+}
+
+TEST(Runner, QueuePoliciesRun) {
+  for (const char* name : {"FCFS", "FDFS", "LJF", "SJF"}) {
+    const RunResult r = run_simulation(small_config(), SchedulerSpec::parse(name));
+    EXPECT_GT(r.released, 0u) << name;
+    EXPECT_GT(r.quality, 0.0) << name;
+    EXPECT_GT(r.energy, 0.0) << name;
+  }
+}
+
+TEST(Runner, DiscreteSpeedsCloseToContinuous) {
+  ExperimentConfig cfg = small_config(120.0, 6.0);
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult cont = run_simulation(cfg, SchedulerSpec{}, trace);
+  cfg.discrete_speeds = true;
+  const RunResult disc = run_simulation(cfg, SchedulerSpec{}, trace);
+  EXPECT_NEAR(disc.quality, cont.quality, 0.05);
+  EXPECT_NEAR(disc.energy / cont.energy, 1.0, 0.25);
+}
+
+TEST(Sweep, SharedTraceAcrossSchedulersAtEachPoint) {
+  const ExperimentConfig cfg = small_config(100.0, 2.0);
+  const auto points = sweep_arrival_rates(
+      cfg, {SchedulerSpec::parse("GE"), SchedulerSpec::parse("BE")}, {80.0, 120.0});
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& point : points) {
+    ASSERT_EQ(point.results.size(), 2u);
+    EXPECT_EQ(point.results[0].released, point.results[1].released);
+  }
+}
+
+TEST(Sweep, SeriesTableShape) {
+  const ExperimentConfig cfg = small_config(100.0, 2.0);
+  const auto points =
+      sweep_arrival_rates(cfg, {SchedulerSpec::parse("GE")}, {80.0, 120.0});
+  const util::Table table =
+      series_table(points, "rate", [](const RunResult& r) { return r.quality; });
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 2u);
+}
+
+TEST(Calibrate, BudgetScaleReachesTargetQuality) {
+  ExperimentConfig cfg = small_config(100.0, 4.0);
+  const CalibrationResult cal = calibrate_budget_scale(cfg, 0.05, 1.0, 8);
+  EXPECT_GT(cal.value, 0.05);
+  EXPECT_LE(cal.value, 1.0);
+  EXPECT_GE(cal.quality, cfg.q_ge - 0.02);
+  EXPECT_GT(cal.evaluations, 1);
+}
+
+TEST(Calibrate, SpeedCapReachesTargetQuality) {
+  ExperimentConfig cfg = small_config(100.0, 4.0);
+  const CalibrationResult cal = calibrate_speed_cap(cfg, 0.2, 4.0, 8);
+  EXPECT_GT(cal.value, 0.2);
+  EXPECT_GE(cal.quality, cfg.q_ge - 0.02);
+}
+
+}  // namespace
+}  // namespace ge::exp
+
+// -- latency metrics, static power, replication, burstiness -----------------
+
+#include "exp/replicate.h"
+
+namespace ge::exp {
+namespace {
+
+TEST(Runner, ResponseTimesBoundedByDeadlineWindow) {
+  const RunResult r = run_simulation(small_config(), SchedulerSpec{});
+  EXPECT_GT(r.mean_response_ms, 0.0);
+  EXPECT_LE(r.p99_response_ms, 150.0 + 1e-6);
+  EXPECT_LE(r.p50_response_ms, r.p95_response_ms + 1e-9);
+  EXPECT_LE(r.p95_response_ms, r.p99_response_ms + 1e-9);
+}
+
+TEST(Runner, GeRespondsNoLaterThanBeOnAverage) {
+  const ExperimentConfig cfg = small_config(140.0, 6.0);
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult ge = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+  const RunResult be = run_simulation(cfg, SchedulerSpec::parse("BE"), trace);
+  EXPECT_LE(ge.mean_response_ms, be.mean_response_ms + 1.0);
+}
+
+TEST(Runner, StaticEnergyIsAConstantOffset) {
+  ExperimentConfig cfg = small_config();
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult without = run_simulation(cfg, SchedulerSpec{}, trace);
+  cfg.static_power_per_core = 2.0;
+  const RunResult with = run_simulation(cfg, SchedulerSpec{}, trace);
+  EXPECT_DOUBLE_EQ(without.static_energy, 0.0);
+  EXPECT_GT(with.static_energy, 0.0);
+  // Dynamic energy is unaffected: static power is a pure offset (the paper's
+  // justification for ignoring it).
+  EXPECT_DOUBLE_EQ(with.energy, without.energy);
+}
+
+TEST(Runner, CrrDominatesPlainRr) {
+  // Plain RR restarts every distribution cycle at core 0; with the frequent
+  // single-job batches of idle-core triggering that degenerates to piling
+  // all work on the first core.  C-RR (the paper's choice) must dominate.
+  const ExperimentConfig cfg = small_config(150.0, 6.0);
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult crr = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+  const RunResult rr = run_simulation(cfg, SchedulerSpec::parse("GE-RR"), trace);
+  EXPECT_EQ(rr.scheduler, "GE-RR");
+  EXPECT_GT(crr.quality, rr.quality);
+}
+
+TEST(Runner, BurstyWorkloadRunsAndDegradesGracefully) {
+  ExperimentConfig cfg = small_config(130.0, 8.0);
+  const RunResult plain = run_simulation(cfg, SchedulerSpec{});
+  cfg.burst_peak_to_mean = 3.0;
+  cfg.verify_power = true;  // caps must hold under bursts too
+  const RunResult bursty = run_simulation(cfg, SchedulerSpec{});
+  EXPECT_GT(bursty.released, 0u);
+  EXPECT_LE(bursty.quality, plain.quality + 0.02);
+}
+
+TEST(Replicate, SummarisesAcrossSeeds) {
+  const ExperimentConfig cfg = small_config(120.0, 2.0);
+  const ReplicationSummary summary = replicate(cfg, SchedulerSpec{}, 3);
+  EXPECT_EQ(summary.replicas, 3);
+  EXPECT_EQ(summary.quality.count(), 3u);
+  EXPECT_GT(summary.energy.mean(), 0.0);
+  // Different seeds: energies differ, so a positive spread.
+  EXPECT_GT(summary.energy.stddev(), 0.0);
+}
+
+TEST(Replicate, QualityStableAcrossSeeds) {
+  const ExperimentConfig cfg = small_config(120.0, 4.0);
+  const ReplicationSummary summary = replicate(cfg, SchedulerSpec{}, 4);
+  EXPECT_NEAR(summary.quality.mean(), 0.9, 0.03);
+  EXPECT_LT(summary.quality.stddev(), 0.02);
+}
+
+}  // namespace
+}  // namespace ge::exp

@@ -1,0 +1,203 @@
+// Unit tests for the scheduler building blocks: load estimation, C-RR
+// assignment, and discrete-plan rectification.
+#include <gtest/gtest.h>
+
+#include "core/assignment.h"
+#include "core/load_estimator.h"
+#include "core/plan_rectifier.h"
+#include "power/power_model.h"
+#include "workload/job.h"
+
+namespace ge::sched {
+namespace {
+
+TEST(LoadEstimator, SteadyRate) {
+  LoadEstimator est(2.0);
+  for (int i = 0; i < 1000; ++i) {
+    est.record_arrival(static_cast<double>(i) * 0.01);  // 100 req/s
+  }
+  EXPECT_NEAR(est.rate(10.0), 100.0, 5.0);
+}
+
+TEST(LoadEstimator, EarlyRunUsesElapsedWindow) {
+  LoadEstimator est(2.0);
+  for (int i = 0; i < 50; ++i) {
+    est.record_arrival(static_cast<double>(i) * 0.01);  // 100 req/s for 0.5 s
+  }
+  // Only 0.5 s elapsed; a naive 2 s window would report ~25 req/s.
+  EXPECT_NEAR(est.rate(0.5), 100.0, 10.0);
+}
+
+TEST(LoadEstimator, OldArrivalsExpire) {
+  LoadEstimator est(1.0);
+  for (int i = 0; i < 100; ++i) {
+    est.record_arrival(static_cast<double>(i) * 0.01);  // burst in [0, 1)
+  }
+  EXPECT_NEAR(est.rate(10.0), 0.0, 1e-9);
+}
+
+TEST(LoadEstimator, TinyWindowIsSafe) {
+  // Windows below the 50 ms floor must not trip UB in the early-run clamp.
+  LoadEstimator est(0.01);
+  est.record_arrival(0.001);
+  est.record_arrival(0.002);
+  EXPECT_GT(est.rate(0.005), 0.0);
+  EXPECT_NEAR(est.rate(10.0), 0.0, 1e-9);  // both arrivals expired
+}
+
+TEST(LoadEstimator, RateTracksChanges) {
+  LoadEstimator est(1.0);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {  // 100 req/s
+    est.record_arrival(t += 0.01);
+  }
+  for (int i = 0; i < 400; ++i) {  // then 200 req/s
+    est.record_arrival(t += 0.005);
+  }
+  EXPECT_NEAR(est.rate(t), 200.0, 10.0);
+}
+
+TEST(CumulativeRoundRobin, CyclesThroughCores) {
+  CumulativeRoundRobin rr(3);
+  EXPECT_EQ(rr.next(), 0u);
+  EXPECT_EQ(rr.next(), 1u);
+  EXPECT_EQ(rr.next(), 2u);
+  EXPECT_EQ(rr.next(), 0u);
+}
+
+TEST(CumulativeRoundRobin, ContinuesAcrossBatches) {
+  CumulativeRoundRobin rr(4);
+  rr.begin_batch();
+  rr.next();  // 0
+  rr.next();  // 1
+  rr.begin_batch();
+  EXPECT_EQ(rr.next(), 2u);  // cumulative: picks up where it stopped
+}
+
+TEST(CumulativeRoundRobin, PlainRrRestartsEachBatch) {
+  CumulativeRoundRobin rr(4, /*cumulative=*/false);
+  rr.begin_batch();
+  rr.next();
+  rr.next();
+  rr.begin_batch();
+  EXPECT_EQ(rr.next(), 0u);  // plain RR restarts
+}
+
+TEST(CumulativeRoundRobin, BalancedOverManyBatches) {
+  CumulativeRoundRobin rr(4);
+  std::array<int, 4> counts{};
+  // Ragged batches of 3 against 4 cores: C-RR stays balanced.
+  for (int batch = 0; batch < 100; ++batch) {
+    rr.begin_batch();
+    for (int j = 0; j < 3; ++j) {
+      counts[rr.next()]++;
+    }
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 75);
+  }
+}
+
+struct RectifierFixture {
+  power::DiscreteSpeedTable table = power::DiscreteSpeedTable::uniform_ghz(0.2, 3.2);
+  workload::Job job;
+
+  RectifierFixture() {
+    job.id = 1;
+    job.demand = job.target = 1000.0;
+    job.deadline = 10.0;
+  }
+
+  opt::ExecutionPlan make_plan(double speed, double units, double start = 0.0) {
+    opt::ExecutionPlan plan;
+    plan.segments.push_back(
+        opt::PlanSegment{&job, start, start + units / speed, speed, units});
+    return plan;
+  }
+};
+
+TEST(PlanRectifier, RoundsUpWithinLimit) {
+  RectifierFixture fx;
+  const auto plan = fx.make_plan(1300.0, 130.0);
+  const auto out = rectify_plan(plan, fx.table, 2000.0);
+  ASSERT_EQ(out.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.segments[0].speed, 1400.0);
+  EXPECT_NEAR(out.segments[0].units, 130.0, 1e-9);  // same work, done sooner
+  EXPECT_LT(out.segments[0].end, plan.segments[0].end);
+}
+
+TEST(PlanRectifier, RoundsDownWhenCeilExceedsLimit) {
+  RectifierFixture fx;
+  const auto plan = fx.make_plan(1900.0, 190.0);
+  const auto out = rectify_plan(plan, fx.table, 1950.0);  // 2000 not allowed
+  ASSERT_EQ(out.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.segments[0].speed, 1800.0);
+}
+
+TEST(PlanRectifier, ExactLevelUnchanged) {
+  RectifierFixture fx;
+  const auto plan = fx.make_plan(1400.0, 140.0);
+  const auto out = rectify_plan(plan, fx.table, 2000.0);
+  ASSERT_EQ(out.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.segments[0].speed, 1400.0);
+  EXPECT_NEAR(out.segments[0].end, plan.segments[0].end, 1e-9);
+}
+
+TEST(PlanRectifier, RoundingDownClipsAtDeadline) {
+  RectifierFixture fx;
+  fx.job.deadline = 0.1;
+  // Needs 1900 u/s for the full 190 units; forced down to 1800 -> loses work.
+  const auto plan = fx.make_plan(1900.0, 190.0);
+  const auto out = rectify_plan(plan, fx.table, 1850.0);
+  ASSERT_EQ(out.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.segments[0].speed, 1800.0);
+  EXPECT_NEAR(out.segments[0].end, 0.1, 1e-12);
+  EXPECT_NEAR(out.segments[0].units, 180.0, 1e-9);  // 10 units lost
+}
+
+TEST(PlanRectifier, DropsWorkBelowLowestLevel) {
+  RectifierFixture fx;
+  const auto plan = fx.make_plan(100.0, 10.0);  // below the 200 u/s floor
+  const auto out = rectify_plan(plan, fx.table, 150.0);  // ceil(100)=200 > 150
+  EXPECT_TRUE(out.segments.empty());
+}
+
+TEST(PlanRectifier, RepacksMultiSegmentTimeline) {
+  RectifierFixture fx;
+  workload::Job job2;
+  job2.id = 2;
+  job2.demand = job2.target = 1000.0;
+  job2.deadline = 10.0;
+  opt::ExecutionPlan plan;
+  plan.segments.push_back(opt::PlanSegment{&fx.job, 0.0, 0.1, 1300.0, 130.0});
+  plan.segments.push_back(opt::PlanSegment{&job2, 0.1, 0.2, 1300.0, 130.0});
+  const auto out = rectify_plan(plan, fx.table, 2000.0);
+  ASSERT_EQ(out.segments.size(), 2u);
+  // Sped-up first segment pulls the second one earlier: no gaps.
+  EXPECT_NEAR(out.segments[0].end, out.segments[1].start, 1e-12);
+  EXPECT_DOUBLE_EQ(out.segments[1].speed, 1400.0);
+  out.validate(0.0);
+}
+
+TEST(PlanRectifier, EmptyPlanPassesThrough) {
+  RectifierFixture fx;
+  EXPECT_TRUE(rectify_plan(opt::ExecutionPlan{}, fx.table, 2000.0).empty());
+}
+
+TEST(PlanRectifier, AllSpeedsOnLadder) {
+  RectifierFixture fx;
+  workload::Job job2;
+  job2.id = 2;
+  job2.demand = job2.target = 500.0;
+  job2.deadline = 5.0;
+  opt::ExecutionPlan plan;
+  plan.segments.push_back(opt::PlanSegment{&fx.job, 0.0, 0.3, 777.0, 233.1});
+  plan.segments.push_back(opt::PlanSegment{&job2, 0.3, 0.5, 1111.0, 222.2});
+  const auto out = rectify_plan(plan, fx.table, 3200.0);
+  for (const auto& seg : out.segments) {
+    EXPECT_TRUE(fx.table.is_level(seg.speed)) << seg.speed;
+  }
+}
+
+}  // namespace
+}  // namespace ge::sched

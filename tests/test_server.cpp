@@ -1,0 +1,327 @@
+// Tests for the simulated Core and MulticoreServer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "opt/energy_opt.h"
+#include "server/multicore_server.h"
+
+namespace ge::server {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  power::PowerModel pm{5.0, 2.0, 1000.0};
+  MulticoreServer server{4, 80.0, pm, sim};  // 20 W per core under ES
+
+  workload::Job make_job(double arrival, double deadline, double demand) {
+    workload::Job job;
+    job.id = ++next_id;
+    job.arrival = arrival;
+    job.deadline = deadline;
+    job.demand = demand;
+    job.target = demand;
+    return job;
+  }
+  std::uint64_t next_id = 0;
+
+  opt::ExecutionPlan single_segment(workload::Job* job, double start, double speed) {
+    opt::ExecutionPlan plan;
+    const double duration = job->remaining_target() / speed;
+    plan.segments.push_back(
+        opt::PlanSegment{job, start, start + duration, speed, job->remaining_target()});
+    return plan;
+  }
+};
+
+TEST(Core, ExecutesPlanAndCreditsWork) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 200.0);
+  Core& core = fx.server.core(0);
+  job.core = 0;
+  core.queue().push_back(&job);
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(0.1);
+  core.advance_to(0.1);
+  EXPECT_NEAR(job.executed, 100.0, 1e-9);
+  fx.sim.run_until(0.3);
+  EXPECT_NEAR(job.executed, 200.0, 1e-9);
+}
+
+TEST(Core, EnergyIntegration) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 200.0);
+  Core& core = fx.server.core(0);
+  job.core = 0;
+  core.queue().push_back(&job);
+  // 1000 u/s = 1 GHz -> 5 W for 0.2 s -> 1 J.
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(0.5);
+  EXPECT_NEAR(core.energy(), 1.0, 1e-9);
+  EXPECT_NEAR(core.busy_time(), 0.2, 1e-12);
+}
+
+TEST(Core, JobFinishedCallbackFires) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 100.0);
+  Core& core = fx.server.core(0);
+  std::vector<std::uint64_t> finished;
+  core.set_job_finished_callback(
+      [&](workload::Job* j) { finished.push_back(j->id); });
+  job.core = 0;
+  core.queue().push_back(&job);
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(1.0);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0], job.id);
+}
+
+TEST(Core, IdleCallbackAfterLastSegment) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 100.0);
+  Core& core = fx.server.core(0);
+  int idle_calls = 0;
+  core.set_idle_callback([&](int) { ++idle_calls; });
+  job.core = 0;
+  core.queue().push_back(&job);
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(1.0);
+  EXPECT_EQ(idle_calls, 1);
+}
+
+TEST(Core, PlanReplacementMidSegmentKeepsAccounting) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 400.0);
+  Core& core = fx.server.core(0);
+  job.core = 0;
+  core.queue().push_back(&job);
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(0.1);
+  core.advance_to(0.1);  // credit the first 100 units before re-planning
+  // Replace with a faster plan for the remainder.
+  core.install_plan(fx.single_segment(&job, 0.1, 2000.0), 20.0);
+  EXPECT_NEAR(job.executed, 100.0, 1e-9);
+  fx.sim.run_until(1.0);
+  EXPECT_NEAR(job.executed, 400.0, 1e-6);
+  // Energy: 5 W * 0.1 s + 20 W * 0.15 s = 3.5 J.
+  EXPECT_NEAR(core.energy(), 3.5, 1e-9);
+}
+
+TEST(Core, RemoveJobDropsFutureSegments) {
+  Fixture fx;
+  workload::Job a = fx.make_job(0.0, 1.0, 100.0);
+  workload::Job b = fx.make_job(0.0, 2.0, 100.0);
+  Core& core = fx.server.core(0);
+  a.core = b.core = 0;
+  core.queue().push_back(&a);
+  core.queue().push_back(&b);
+  opt::ExecutionPlan plan;
+  plan.segments.push_back(opt::PlanSegment{&a, 0.0, 0.1, 1000.0, 100.0});
+  plan.segments.push_back(opt::PlanSegment{&b, 0.1, 0.2, 1000.0, 100.0});
+  core.install_plan(std::move(plan), 20.0);
+  fx.sim.run_until(0.05);
+  core.remove_job(&b, 0.05);
+  fx.sim.run_until(1.0);
+  EXPECT_NEAR(a.executed, 100.0, 1e-9);
+  EXPECT_NEAR(b.executed, 0.0, 1e-9);
+  EXPECT_TRUE(core.queue().size() == 1 && core.queue()[0] == &a);
+}
+
+TEST(Core, RemoveRunningJobStopsIt) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 400.0);
+  Core& core = fx.server.core(0);
+  job.core = 0;
+  core.queue().push_back(&job);
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(0.1);
+  core.remove_job(&job, 0.1);
+  fx.sim.run_until(1.0);
+  EXPECT_NEAR(job.executed, 100.0, 1e-9);  // partial credit only
+  EXPECT_FALSE(core.busy(1.0));
+}
+
+TEST(Core, CurrentSpeedTracksPlan) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 100.0);
+  Core& core = fx.server.core(0);
+  job.core = 0;
+  core.queue().push_back(&job);
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  EXPECT_NEAR(core.current_speed(0.05), 1000.0, 1e-9);
+  EXPECT_NEAR(core.current_speed(0.5), 0.0, 1e-9);
+}
+
+TEST(Core, SpeedStatsTimeWeighted) {
+  Fixture fx;
+  workload::Job a = fx.make_job(0.0, 1.0, 100.0);
+  workload::Job b = fx.make_job(0.0, 2.0, 300.0);
+  Core& core = fx.server.core(0);
+  a.core = b.core = 0;
+  core.queue().push_back(&a);
+  core.queue().push_back(&b);
+  opt::ExecutionPlan plan;
+  plan.segments.push_back(opt::PlanSegment{&a, 0.0, 0.1, 1000.0, 100.0});
+  plan.segments.push_back(opt::PlanSegment{&b, 0.1, 0.25, 2000.0, 300.0});
+  core.install_plan(std::move(plan), 20.0);
+  fx.sim.run_until(1.0);
+  // Mean speed = (1000*0.1 + 2000*0.15) / 0.25 = 1600.
+  EXPECT_NEAR(core.speed_stats().mean(), 1600.0, 1e-9);
+  EXPECT_GT(core.speed_stats().variance(), 0.0);
+}
+
+TEST(Core, RejectsPlanAbovePowerCap) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 100.0);
+  Core& core = fx.server.core(0);
+  job.core = 0;
+  core.queue().push_back(&job);
+  // 3000 u/s = 3 GHz -> 45 W > 20 W cap.
+  EXPECT_DEATH(core.install_plan(fx.single_segment(&job, 0.0, 3000.0), 20.0), "cap");
+}
+
+TEST(Core, RejectsPlanForForeignJob) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 100.0);
+  Core& core = fx.server.core(0);
+  // Job never queued on this core.
+  EXPECT_DEATH(core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0),
+               "not pinned");
+}
+
+TEST(MulticoreServer, TotalPowerSumsCores) {
+  Fixture fx;
+  workload::Job a = fx.make_job(0.0, 1.0, 100.0);
+  workload::Job b = fx.make_job(0.0, 1.0, 100.0);
+  a.core = 0;
+  b.core = 1;
+  fx.server.core(0).queue().push_back(&a);
+  fx.server.core(1).queue().push_back(&b);
+  fx.server.core(0).install_plan(fx.single_segment(&a, 0.0, 1000.0), 20.0);
+  fx.server.core(1).install_plan(fx.single_segment(&b, 0.0, 2000.0), 20.0);
+  // 5 W + 20 W = 25 W while both run.
+  EXPECT_NEAR(fx.server.total_power(0.01), 25.0, 1e-9);
+}
+
+TEST(MulticoreServer, CapValidation) {
+  Fixture fx;
+  fx.server.check_caps({20.0, 20.0, 20.0, 20.0});
+  EXPECT_DEATH(fx.server.check_caps({40.0, 40.0, 40.0, 40.0}), "exceed");
+  EXPECT_DEATH(fx.server.check_caps({20.0, 20.0}), "per core");
+}
+
+TEST(MulticoreServer, FindIdleCore) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 100.0);
+  job.core = 0;
+  fx.server.core(0).queue().push_back(&job);
+  fx.server.core(0).install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  EXPECT_EQ(fx.server.find_idle_core(0.0), 1);  // core 0 busy, core 1 free
+  fx.sim.run_until(0.5);
+  EXPECT_EQ(fx.server.find_idle_core(0.5), 0);
+}
+
+TEST(MulticoreServer, AggregatesEnergyAndSpeed) {
+  Fixture fx;
+  workload::Job a = fx.make_job(0.0, 1.0, 100.0);
+  workload::Job b = fx.make_job(0.0, 1.0, 200.0);
+  a.core = 0;
+  b.core = 1;
+  fx.server.core(0).queue().push_back(&a);
+  fx.server.core(1).queue().push_back(&b);
+  fx.server.core(0).install_plan(fx.single_segment(&a, 0.0, 1000.0), 20.0);
+  fx.server.core(1).install_plan(fx.single_segment(&b, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(1.0);
+  EXPECT_NEAR(fx.server.total_energy(), 5.0 * 0.1 + 5.0 * 0.2, 1e-9);
+  EXPECT_NEAR(fx.server.total_busy_time(), 0.3, 1e-12);
+  EXPECT_NEAR(fx.server.aggregate_speed_stats().mean(), 1000.0, 1e-9);
+}
+
+TEST(MulticoreServer, ConstructorValidation) {
+  sim::Simulator sim;
+  power::PowerModel pm;
+  EXPECT_DEATH(MulticoreServer(0, 100.0, pm, sim), "at least one core");
+  EXPECT_DEATH(MulticoreServer(4, 0.0, pm, sim), "positive");
+}
+
+}  // namespace
+}  // namespace ge::server
+
+// -- additional hardening: replacement, gaps and accounting -------------------
+
+namespace ge::server {
+namespace {
+
+TEST(Core, ManyReplacementsAccumulateExactEnergy) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 10.0, 10000.0);
+  Core& core = fx.server.core(0);
+  job.core = 0;
+  core.queue().push_back(&job);
+  // Replace the plan every 0.1 s with a fresh single-segment plan at 1 GHz;
+  // total energy must equal 5 W * elapsed regardless of replacement count.
+  double expected_energy = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const double t = 0.1 * i;
+    fx.sim.run_until(t);
+    core.advance_to(t);
+    if (job.remaining_target() <= 0.0) {
+      break;
+    }
+    core.install_plan(fx.single_segment(&job, t, 1000.0), 20.0);
+  }
+  fx.sim.run_until(2.0);
+  core.advance_to(2.0);  // integrate the tail of the last plan
+  expected_energy = 5.0 * 2.0;  // 1 GHz for the whole 2 s
+  EXPECT_NEAR(core.energy(), expected_energy, 1e-6);
+  EXPECT_NEAR(job.executed, 2000.0, 1e-6);
+}
+
+TEST(Core, IdleGapAfterRemovalLeavesSpeedZero) {
+  Fixture fx;
+  workload::Job a = fx.make_job(0.0, 1.0, 100.0);
+  workload::Job b = fx.make_job(0.0, 2.0, 100.0);
+  Core& core = fx.server.core(0);
+  a.core = b.core = 0;
+  core.queue().push_back(&a);
+  core.queue().push_back(&b);
+  opt::ExecutionPlan plan;
+  plan.segments.push_back(opt::PlanSegment{&a, 0.0, 0.1, 1000.0, 100.0});
+  plan.segments.push_back(opt::PlanSegment{&b, 0.5, 0.6, 1000.0, 100.0});
+  core.install_plan(std::move(plan), 20.0);
+  fx.sim.run_until(0.2);
+  // Inside the gap: idle.
+  EXPECT_NEAR(core.current_speed(0.3), 0.0, 1e-12);
+  EXPECT_TRUE(core.busy(0.3));  // future segment still pending
+  fx.sim.run_until(1.0);
+  EXPECT_NEAR(b.executed, 100.0, 1e-9);
+  // Energy excludes the idle gap.
+  EXPECT_NEAR(core.energy(), 5.0 * 0.2, 1e-9);
+}
+
+TEST(Core, RemoveLastJobCancelsBoundaryEvent) {
+  Fixture fx;
+  workload::Job job = fx.make_job(0.0, 1.0, 100.0);
+  Core& core = fx.server.core(0);
+  int finished_calls = 0;
+  core.set_job_finished_callback([&](workload::Job*) { ++finished_calls; });
+  job.core = 0;
+  core.queue().push_back(&job);
+  core.install_plan(fx.single_segment(&job, 0.0, 1000.0), 20.0);
+  fx.sim.run_until(0.05);
+  core.remove_job(&job, 0.05);
+  fx.sim.run_until(1.0);
+  EXPECT_EQ(finished_calls, 0);  // removed before completion: no callback
+  EXPECT_FALSE(core.busy(1.0));
+}
+
+TEST(Core, EmptyPlanInstallIsIdle) {
+  Fixture fx;
+  Core& core = fx.server.core(0);
+  core.install_plan(opt::ExecutionPlan{}, 20.0);
+  EXPECT_FALSE(core.busy(0.0));
+  EXPECT_NEAR(core.current_speed(0.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ge::server

@@ -1,0 +1,151 @@
+// Tests for the run-timeline recorder and the quality-family config.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "exp/timeline.h"
+
+namespace ge::exp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = 150.0;
+  cfg.duration = 4.0;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(Timeline, SamplesAtRequestedInterval) {
+  const ExperimentConfig cfg = small_config();
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  Timeline timeline;
+  timeline.interval = 0.1;
+  (void)run_simulation(cfg, SchedulerSpec::parse("GE"), trace, &timeline);
+  ASSERT_FALSE(timeline.empty());
+  // horizon = duration + deadline window + 2 quanta ~ 5.15 s -> ~51 samples.
+  EXPECT_NEAR(static_cast<double>(timeline.points.size()), 51.0, 3.0);
+  for (std::size_t i = 1; i < timeline.points.size(); ++i) {
+    EXPECT_NEAR(timeline.points[i].time - timeline.points[i - 1].time, 0.1, 1e-9);
+  }
+}
+
+TEST(Timeline, PowerNeverExceedsBudget) {
+  const ExperimentConfig cfg = small_config();
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  Timeline timeline;
+  timeline.interval = 0.02;
+  (void)run_simulation(cfg, SchedulerSpec::parse("GE"), trace, &timeline);
+  EXPECT_LE(timeline.peak_power(), cfg.power_budget * (1.0 + 1e-6));
+  EXPECT_GT(timeline.peak_power(), 0.0);
+}
+
+TEST(Timeline, GeRunsRecordMode) {
+  const ExperimentConfig cfg = small_config();
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  Timeline timeline;
+  timeline.interval = 0.05;
+  (void)run_simulation(cfg, SchedulerSpec::parse("GE"), trace, &timeline);
+  for (const TimelinePoint& p : timeline.points) {
+    EXPECT_TRUE(p.mode == 0 || p.mode == 1);
+    EXPECT_GE(p.busy_cores, 0);
+    EXPECT_LE(p.busy_cores, 16);
+    EXPECT_GE(p.quality, 0.0);
+    EXPECT_LE(p.quality, 1.0);
+  }
+}
+
+TEST(Timeline, QueuePolicyRunsHaveNoMode) {
+  const ExperimentConfig cfg = small_config();
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  Timeline timeline;
+  timeline.interval = 0.1;
+  (void)run_simulation(cfg, SchedulerSpec::parse("FCFS"), trace, &timeline);
+  for (const TimelinePoint& p : timeline.points) {
+    EXPECT_EQ(p.mode, -1);
+  }
+  EXPECT_DOUBLE_EQ(timeline.bq_share(), 0.0);
+}
+
+TEST(Timeline, CsvExport) {
+  Timeline timeline;
+  timeline.interval = 0.1;
+  timeline.points.push_back(TimelinePoint{0.1, 120.5, 0.95, 10, 3, 0});
+  const std::string csv = timeline.to_csv();
+  EXPECT_NE(csv.find("time,total_power_w,quality,busy_cores,backlog,mode"),
+            std::string::npos);
+  EXPECT_NE(csv.find("120.5"), std::string::npos);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ge_timeline_test.csv").string();
+  timeline.save_csv(path);
+  std::remove(path.c_str());
+}
+
+TEST(Timeline, RecordingDoesNotPerturbResults) {
+  const ExperimentConfig cfg = small_config();
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult plain = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+  Timeline timeline;
+  timeline.interval = 0.03;
+  const RunResult recorded =
+      run_simulation(cfg, SchedulerSpec::parse("GE"), trace, &timeline);
+  EXPECT_DOUBLE_EQ(plain.quality, recorded.quality);
+  EXPECT_DOUBLE_EQ(plain.energy, recorded.energy);
+}
+
+TEST(QualityFamily, Names) {
+  EXPECT_STREQ(to_string(QualityFamily::kExponential), "exponential");
+  EXPECT_STREQ(to_string(QualityFamily::kLinear), "linear");
+  EXPECT_STREQ(to_string(QualityFamily::kPowerLaw), "power-law");
+}
+
+TEST(QualityFamily, FactoryBuildsRequestedFamily) {
+  ExperimentConfig cfg = small_config();
+  EXPECT_NE(cfg.make_quality_function()->name().find("exp"), std::string::npos);
+  cfg.quality_family = QualityFamily::kLinear;
+  EXPECT_EQ(cfg.make_quality_function()->name(), "linear");
+  cfg.quality_family = QualityFamily::kPowerLaw;
+  cfg.quality_c = 0.5;
+  EXPECT_NE(cfg.make_quality_function()->name().find("powerlaw"), std::string::npos);
+}
+
+TEST(QualityFamily, LinearQualityRemovesCuttingAdvantage) {
+  // With a linear quality function there are no diminishing returns: GE's
+  // energy saving relative to BE must shrink compared to the concave case.
+  ExperimentConfig cfg = small_config();
+  cfg.duration = 6.0;
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const RunResult ge_exp = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+  const RunResult be_exp = run_simulation(cfg, SchedulerSpec::parse("BE"), trace);
+  cfg.quality_family = QualityFamily::kLinear;
+  const RunResult ge_lin = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+  const RunResult be_lin = run_simulation(cfg, SchedulerSpec::parse("BE"), trace);
+  const double saving_exp = 1.0 - ge_exp.energy / be_exp.energy;
+  const double saving_lin = 1.0 - ge_lin.energy / be_lin.energy;
+  EXPECT_GT(saving_exp, 0.0);
+  // Linear still saves (cutting 10% of work saves energy) but strictly less
+  // than the concave case, where the cut tails are quality-cheap.
+  EXPECT_LT(saving_lin, saving_exp);
+}
+
+TEST(QualityFamily, PowerLawRunsEndToEnd) {
+  ExperimentConfig cfg = small_config();
+  cfg.quality_family = QualityFamily::kPowerLaw;
+  cfg.quality_c = 0.4;
+  const RunResult r = run_simulation(cfg, SchedulerSpec::parse("GE"));
+  EXPECT_GT(r.released, 0u);
+  EXPECT_GT(r.quality, 0.5);
+}
+
+}  // namespace
+}  // namespace ge::exp

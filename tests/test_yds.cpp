@@ -1,0 +1,190 @@
+// Tests for the full preemptive YDS scheduler and the offline reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/config.h"
+#include "exp/offline_reference.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "opt/energy_opt.h"
+#include "opt/yds.h"
+#include "power/power_model.h"
+#include "util/rng.h"
+#include "workload/job.h"
+
+namespace ge::opt {
+namespace {
+
+const power::PowerModel& pm() {
+  static const power::PowerModel model(5.0, 2.0, 1000.0);
+  return model;
+}
+
+TEST(Yds, EmptyInstance) {
+  const YdsSchedule s = yds_schedule({});
+  EXPECT_TRUE(s.blocks.empty());
+  EXPECT_DOUBLE_EQ(s.total_work(), 0.0);
+  EXPECT_DOUBLE_EQ(s.energy(pm()), 0.0);
+}
+
+TEST(Yds, SingleJobRunsAtItsIntensity) {
+  const YdsJob job{0.0, 0.5, 1000.0};
+  const YdsSchedule s = yds_schedule({{job}});
+  ASSERT_EQ(s.blocks.size(), 1u);
+  EXPECT_NEAR(s.blocks[0].speed, 2000.0, 1e-9);
+  EXPECT_NEAR(s.blocks[0].duration, 0.5, 1e-12);
+  EXPECT_NEAR(s.total_work(), 1000.0, 1e-9);
+}
+
+TEST(Yds, ZeroWorkJobsIgnored) {
+  const std::vector<YdsJob> jobs{{0.0, 1.0, 0.0}, {0.0, 1.0, 500.0}};
+  const YdsSchedule s = yds_schedule(jobs);
+  EXPECT_NEAR(s.total_work(), 500.0, 1e-9);
+}
+
+TEST(Yds, TextbookTwoJobInstance) {
+  // Job A: [0, 1], 100 units; job B: [0, 2], 100 units.
+  // Critical interval [0,1] has intensity (A only? both?): jobs contained in
+  // [0,1]: A -> 100/1 = 100.  Interval [0,2]: 200/2 = 100.  Equal; the
+  // optimum runs at a constant 100 units/s throughout.
+  const std::vector<YdsJob> jobs{{0.0, 1.0, 100.0}, {0.0, 2.0, 100.0}};
+  const YdsSchedule s = yds_schedule(jobs);
+  EXPECT_NEAR(s.total_work(), 200.0, 1e-9);
+  EXPECT_NEAR(s.max_speed(), 100.0, 1e-6);
+  EXPECT_NEAR(s.energy(pm()), pm().power(100.0) * 2.0, 1e-9);
+}
+
+TEST(Yds, LateReleaseForcesFasterBlock) {
+  // Job A: [0, 2], 100 units.  Job B: [1.5, 2.0], 200 units -> the interval
+  // [1.5, 2] has intensity 400, dominating; A spreads over the rest.
+  const std::vector<YdsJob> jobs{{0.0, 2.0, 100.0}, {1.5, 2.0, 200.0}};
+  const YdsSchedule s = yds_schedule(jobs);
+  ASSERT_EQ(s.blocks.size(), 2u);
+  EXPECT_NEAR(s.blocks[0].speed, 400.0, 1e-6);
+  EXPECT_NEAR(s.blocks[0].duration, 0.5, 1e-9);
+  // A runs over the remaining 1.5 s of timeline at 100/1.5.
+  EXPECT_NEAR(s.blocks[1].speed, 100.0 / 1.5, 1e-6);
+}
+
+TEST(Yds, BlockSpeedsNonIncreasing) {
+  util::Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<YdsJob> jobs;
+    const std::size_t n = 2 + rng.uniform_index(15);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double release = rng.uniform(0.0, 2.0);
+      jobs.push_back(YdsJob{release, release + rng.uniform(0.05, 1.0),
+                            rng.uniform(10.0, 500.0)});
+    }
+    const YdsSchedule s = yds_schedule(jobs);
+    for (std::size_t i = 1; i < s.blocks.size(); ++i) {
+      ASSERT_LE(s.blocks[i].speed, s.blocks[i - 1].speed + 1e-6);
+    }
+    double work = 0.0;
+    for (const YdsJob& job : jobs) {
+      work += job.work;
+    }
+    ASSERT_NEAR(s.total_work(), work, 1e-6);
+  }
+}
+
+TEST(Yds, MatchesRestrictedPlannerWhenAllReleased) {
+  // With every job released at time 0 and agreeable deadlines, the full YDS
+  // optimum coincides with the restricted max-prefix-intensity planner.
+  util::Rng rng(66);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(10);
+    std::vector<workload::Job> jobs(n);
+    std::vector<PlanJob> plan_jobs;
+    std::vector<YdsJob> yds_jobs;
+    double deadline = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      deadline += rng.uniform(0.02, 0.3);
+      const double work = rng.uniform(10.0, 600.0);
+      jobs[i].id = i + 1;
+      jobs[i].deadline = deadline;
+      jobs[i].demand = jobs[i].target = work;
+      plan_jobs.push_back(PlanJob{&jobs[i], work, deadline});
+      yds_jobs.push_back(YdsJob{0.0, deadline, work});
+    }
+    const ExecutionPlan plan = plan_min_energy(0.0, plan_jobs, 1e12);
+    const YdsSchedule yds = yds_schedule(yds_jobs);
+    ASSERT_NEAR(plan.total_energy(pm()), yds.energy(pm()),
+                1e-6 * (1.0 + yds.energy(pm())))
+        << "trial " << trial;
+  }
+}
+
+TEST(Yds, EnergyNeverAboveConstantSpeedSchedule) {
+  // Running everything at the max prefix... simplest competitor: constant
+  // speed = total work / horizon whenever that is feasible; YDS must not be
+  // worse than any feasible schedule it can be compared with here.
+  const std::vector<YdsJob> jobs{{0.0, 1.0, 300.0}, {0.5, 2.0, 300.0}};
+  const YdsSchedule s = yds_schedule(jobs);
+  // Feasible competitor: 300 units in [0,1] at 300 u/s, 300 in [1,2] at 300.
+  const double competitor = pm().power(300.0) * 2.0;
+  EXPECT_LE(s.energy(pm()), competitor + 1e-9);
+}
+
+TEST(Yds, RejectsEmptyWindow) {
+  const std::vector<YdsJob> jobs{{1.0, 1.0, 10.0}};
+  EXPECT_DEATH((void)yds_schedule(jobs), "window");
+}
+
+}  // namespace
+}  // namespace ge::opt
+
+namespace ge::exp {
+namespace {
+
+ExperimentConfig gap_config(double rate) {
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = rate;
+  cfg.duration = 2.0;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(OfflineReference, EmptyTrace) {
+  const OfflineReference ref =
+      offline_reference(workload::Trace{}, 0.9, gap_config(100.0));
+  EXPECT_DOUBLE_EQ(ref.energy, 0.0);
+  EXPECT_TRUE(ref.within_budget);
+}
+
+TEST(OfflineReference, QualityMatchesTarget) {
+  const ExperimentConfig cfg = gap_config(150.0);
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const OfflineReference ref = offline_reference(trace, 0.9, cfg);
+  EXPECT_NEAR(ref.quality, 0.9, 1e-5);
+  EXPECT_GT(ref.total_work, 0.0);
+  EXPECT_GT(ref.energy, 0.0);
+}
+
+TEST(OfflineReference, LowerEnergyThanGeAtSameQuality) {
+  // The reference relaxes onlineness, partitioning, preemption and the
+  // budget, so it must not cost more than GE's actual schedule.
+  for (double rate : {100.0, 150.0}) {
+    const ExperimentConfig cfg = gap_config(rate);
+    const workload::Trace trace =
+        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+    const RunResult ge = run_simulation(cfg, SchedulerSpec::parse("GE"), trace);
+    const OfflineReference ref = offline_reference(trace, cfg.q_ge, cfg);
+    EXPECT_LE(ref.energy, ge.energy * 1.001) << "rate " << rate;
+  }
+}
+
+TEST(OfflineReference, FullQualityCostsMoreThanCutQuality) {
+  const ExperimentConfig cfg = gap_config(150.0);
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  const OfflineReference cut = offline_reference(trace, 0.9, cfg);
+  const OfflineReference full = offline_reference(trace, 1.0, cfg);
+  EXPECT_GT(full.energy, cut.energy);
+  EXPECT_NEAR(full.quality, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ge::exp
