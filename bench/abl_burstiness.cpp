@@ -10,20 +10,26 @@ int main(int argc, char** argv) {
   bench::print_banner(ctx, "Ablation",
                       "burstiness (on-off arrivals, fixed 130 req/s mean)");
 
+  // Each burst ratio shapes the workload, so each is its own engine point;
+  // GE and BE pair up on the point's shared trace.
+  const auto points = exp::sweep(
+      ctx.base,
+      {exp::SchedulerSpec::parse("GE"), exp::SchedulerSpec::parse("BE")},
+      {1.0, 1.5, 2.0, 3.0, 4.0},
+      [&ctx](exp::ExperimentConfig cfg, double ratio) {
+        cfg.arrival_rate = ctx.rates.front();
+        cfg.burst_peak_to_mean = ratio;
+        return cfg;
+      },
+      ctx.exec);
+
   util::Table table({"peak_to_mean", "GE_quality", "GE_energy_J", "GE_aes_frac",
                      "BE_quality", "BE_energy_J", "GE_saving"});
-  for (double ratio : {1.0, 1.5, 2.0, 3.0, 4.0}) {
-    exp::ExperimentConfig cfg = ctx.base;
-    cfg.arrival_rate = ctx.rates.front();
-    cfg.burst_peak_to_mean = ratio;
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-    const exp::RunResult ge =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-    const exp::RunResult be =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("BE"), trace);
+  for (const auto& point : points) {
+    const exp::RunResult& ge = point.results[0];
+    const exp::RunResult& be = point.results[1];
     table.begin_row();
-    table.add(ratio, 1);
+    table.add(point.x, 1);
     table.add(ge.quality, 4);
     table.add(ge.energy, 1);
     table.add(ge.aes_fraction, 4);

@@ -10,21 +10,25 @@ int main(int argc, char** argv) {
   bench::print_banner(ctx, "Ablation",
                       "core failures at t = duration/2 (150 req/s)");
 
+  const auto points = exp::sweep(
+      ctx.base,
+      {exp::SchedulerSpec::parse("GE"), exp::SchedulerSpec::parse("BE")},
+      {0.0, 2.0, 4.0, 8.0, 12.0},
+      [&ctx](exp::ExperimentConfig cfg, double failed) {
+        cfg.arrival_rate = ctx.rates.front();
+        cfg.failure_cores = static_cast<std::size_t>(failed);
+        cfg.failure_time = failed > 0.0 ? cfg.duration / 2.0 : -1.0;
+        return cfg;
+      },
+      ctx.exec);
+
   util::Table table({"failed_cores", "GE_quality", "GE_energy_J", "GE_aes_frac",
                      "BE_quality", "BE_energy_J"});
-  for (std::size_t failed : {0u, 2u, 4u, 8u, 12u}) {
-    exp::ExperimentConfig cfg = ctx.base;
-    cfg.arrival_rate = ctx.rates.front();
-    cfg.failure_cores = failed;
-    cfg.failure_time = failed > 0 ? cfg.duration / 2.0 : -1.0;
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-    const exp::RunResult ge =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-    const exp::RunResult be =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("BE"), trace);
+  for (const auto& point : points) {
+    const exp::RunResult& ge = point.results[0];
+    const exp::RunResult& be = point.results[1];
     table.begin_row();
-    table.add(static_cast<std::uint64_t>(failed));
+    table.add(static_cast<std::uint64_t>(point.x));
     table.add(ge.quality, 4);
     table.add(ge.energy, 1);
     table.add(ge.aes_fraction, 4);

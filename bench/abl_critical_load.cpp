@@ -20,34 +20,23 @@ int main(int argc, char** argv) {
     return "crit=" + util::format_double(t, 0);
   };
 
-  std::vector<std::string> header{"arrival_rate"};
+  std::vector<exp::RunVariant> variants;
   for (double t : thresholds) {
-    header.push_back(label(t));
+    variants.push_back({label(t), exp::SchedulerSpec::parse("GE"),
+                        [t](exp::ExperimentConfig cfg) {
+                          cfg.critical_load = t;
+                          return cfg;
+                        }});
   }
-  util::Table quality_table(header);
-  util::Table energy_table(header);
-  for (double rate : ctx.rates) {
-    quality_table.begin_row();
-    energy_table.begin_row();
-    quality_table.add(rate, 1);
-    energy_table.add(rate, 1);
-    exp::ExperimentConfig cfg = ctx.base;
-    cfg.arrival_rate = rate;
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-    for (double t : thresholds) {
-      cfg.critical_load = t;
-      const exp::RunResult r =
-          exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-      quality_table.add(r.quality, 4);
-      energy_table.add(r.energy, 1);
-    }
-  }
-  bench::print_panel(ctx, "(a) GE service quality per threshold", quality_table,
+  const auto points = exp::sweep_variants(
+      ctx.base, variants, ctx.rates, exp::configure_arrival_rate, ctx.exec);
+  bench::print_panel(ctx, "(a) GE service quality per threshold",
+                     exp::series_table(points, "arrival_rate", bench::metric_quality),
                      "thresholds at/above the saturation rate behave like "
                      "always-ES and lose quality under heavy load; low "
                      "thresholds behave like always-WF");
-  bench::print_panel(ctx, "(b) GE energy (J) per threshold", energy_table,
+  bench::print_panel(ctx, "(b) GE energy (J) per threshold",
+                     exp::series_table(points, "arrival_rate", bench::metric_energy, 1),
                      "low thresholds pay the WF thrashing cost under light "
                      "load; the paper's 154 req/s sits at the elbow: ES energy "
                      "below it, WF quality above it");

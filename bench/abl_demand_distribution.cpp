@@ -25,28 +25,41 @@ int main(int argc, char** argv) {
                               base.demand_alpha, base.demand_min, base.demand_max)
                               .mean();
 
+  // Each parameter set reshapes the workload, so each is an engine point
+  // (x = index into `sweep`); GE and BE pair up on the shared trace.
+  std::vector<double> indices;
+  for (std::size_t i = 0; i < sizeof(sweep) / sizeof(sweep[0]); ++i) {
+    indices.push_back(static_cast<double>(i));
+  }
+  const auto points = exp::sweep(
+      base, {exp::SchedulerSpec::parse("GE"), exp::SchedulerSpec::parse("BE")},
+      indices,
+      [&](exp::ExperimentConfig cfg, double index) {
+        const Params& p = sweep[static_cast<std::size_t>(index)];
+        cfg.demand_alpha = p.alpha;
+        cfg.demand_min = p.xmin;
+        cfg.demand_max = p.xmax;
+        const double mean =
+            workload::BoundedParetoDistribution(p.alpha, p.xmin, p.xmax).mean();
+        cfg.arrival_rate = reference_load / mean;
+        return cfg;
+      },
+      ctx.exec);
+
   util::Table table({"alpha", "xmin", "xmax", "mean_demand", "rate", "GE_quality",
                      "GE_energy_J", "BE_quality", "BE_energy_J", "saving"});
-  for (const Params& p : sweep) {
-    exp::ExperimentConfig cfg = base;
-    cfg.demand_alpha = p.alpha;
-    cfg.demand_min = p.xmin;
-    cfg.demand_max = p.xmax;
+  for (const auto& point : points) {
+    const Params& p = sweep[static_cast<std::size_t>(point.x)];
     const double mean =
         workload::BoundedParetoDistribution(p.alpha, p.xmin, p.xmax).mean();
-    cfg.arrival_rate = reference_load / mean;
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-    const exp::RunResult ge =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-    const exp::RunResult be =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("BE"), trace);
+    const exp::RunResult& ge = point.results[0];
+    const exp::RunResult& be = point.results[1];
     table.begin_row();
     table.add(p.alpha, 1);
     table.add(p.xmin, 0);
     table.add(p.xmax, 0);
     table.add(mean, 1);
-    table.add(cfg.arrival_rate, 1);
+    table.add(reference_load / mean, 1);
     table.add(ge.quality, 4);
     table.add(ge.energy, 1);
     table.add(be.quality, 4);

@@ -10,20 +10,24 @@ int main(int argc, char** argv) {
   bench::print_banner(ctx, "Ablation",
                       "core-efficiency heterogeneity (a_i spread, 150 req/s)");
 
+  const auto points = exp::sweep(
+      ctx.base,
+      {exp::SchedulerSpec::parse("GE"), exp::SchedulerSpec::parse("BE")},
+      {1.0, 1.5, 2.0, 3.0, 4.0},
+      [&ctx](exp::ExperimentConfig cfg, double spread) {
+        cfg.arrival_rate = ctx.rates.front();
+        cfg.hetero_spread = spread;
+        return cfg;
+      },
+      ctx.exec);
+
   util::Table table({"spread", "GE_quality", "GE_energy_J", "GE_energy_cov",
                      "BE_quality", "BE_energy_J", "GE_saving"});
-  for (double spread : {1.0, 1.5, 2.0, 3.0, 4.0}) {
-    exp::ExperimentConfig cfg = ctx.base;
-    cfg.arrival_rate = ctx.rates.front();
-    cfg.hetero_spread = spread;
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-    const exp::RunResult ge =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-    const exp::RunResult be =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("BE"), trace);
+  for (const auto& point : points) {
+    const exp::RunResult& ge = point.results[0];
+    const exp::RunResult& be = point.results[1];
     table.begin_row();
-    table.add(spread, 1);
+    table.add(point.x, 1);
     table.add(ge.quality, 4);
     table.add(ge.energy, 1);
     table.add(ge.energy_cov, 4);

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   const std::vector<exp::SchedulerSpec> specs{
       exp::SchedulerSpec::parse("GE"), exp::SchedulerSpec::parse("BE"),
       exp::SchedulerSpec::parse("FCFS"), exp::SchedulerSpec::parse("SJF")};
-  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates);
+  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates, ctx.exec);
 
   bench::print_panel(
       ctx, "(a) mean response time (ms)",

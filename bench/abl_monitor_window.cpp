@@ -13,33 +13,22 @@ int main(int argc, char** argv) {
   auto label = [](std::size_t w) {
     return w == 0 ? std::string("cumulative") : "win=" + std::to_string(w);
   };
-  std::vector<std::string> header{"arrival_rate"};
+  std::vector<exp::RunVariant> variants;
   for (std::size_t w : windows) {
-    header.push_back(label(w));
+    variants.push_back({label(w), exp::SchedulerSpec::parse("GE"),
+                        [w](exp::ExperimentConfig cfg) {
+                          cfg.monitor_window = w;
+                          return cfg;
+                        }});
   }
-  util::Table quality_table(header);
-  util::Table energy_table(header);
-  for (double rate : ctx.rates) {
-    quality_table.begin_row();
-    energy_table.begin_row();
-    quality_table.add(rate, 1);
-    energy_table.add(rate, 1);
-    exp::ExperimentConfig cfg = ctx.base;
-    cfg.arrival_rate = rate;
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-    for (std::size_t w : windows) {
-      cfg.monitor_window = w;
-      const exp::RunResult r =
-          exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-      quality_table.add(r.quality, 4);
-      energy_table.add(r.energy, 1);
-    }
-  }
-  bench::print_panel(ctx, "(a) GE quality per monitor horizon", quality_table,
+  const auto points = exp::sweep_variants(
+      ctx.base, variants, ctx.rates, exp::configure_arrival_rate, ctx.exec);
+  bench::print_panel(ctx, "(a) GE quality per monitor horizon",
+                     exp::series_table(points, "arrival_rate", bench::metric_quality),
                      "all horizons hold ~Q_GE below overload; short windows "
                      "react faster after load spikes but flap more");
-  bench::print_panel(ctx, "(b) GE energy (J) per monitor horizon", energy_table,
+  bench::print_panel(ctx, "(b) GE energy (J) per monitor horizon",
+                     exp::series_table(points, "arrival_rate", bench::metric_energy, 1),
                      "shorter windows compensate more eagerly and spend "
                      "slightly more energy");
   return 0;

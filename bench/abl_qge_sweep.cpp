@@ -9,20 +9,27 @@ int main(int argc, char** argv) {
   bench::print_banner(ctx, "Ablation", "energy as a function of the promised Q_GE");
 
   const std::vector<double> targets{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99};
-  util::Table table(
-      {"q_ge", "quality", "energy_J", "saving_vs_BE", "aes_fraction"});
   exp::ExperimentConfig cfg = ctx.base;
   cfg.arrival_rate = ctx.rates.front();
-  const workload::Trace trace =
-      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-  const exp::RunResult be =
-      exp::run_simulation(cfg, exp::SchedulerSpec::parse("BE"), trace);
+
+  // One engine point: the BE reference plus one GE run per quality target,
+  // all on the same trace.  Task 0 is BE; task 1+i is targets[i].
+  exp::ExperimentPlan plan;
+  plan.add(cfg, exp::SchedulerSpec::parse("BE"), 0);
   for (double target : targets) {
-    cfg.q_ge = target;
-    const exp::RunResult r =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
+    exp::ExperimentConfig ge_cfg = cfg;
+    ge_cfg.q_ge = target;
+    plan.add(ge_cfg, exp::SchedulerSpec::parse("GE"), 0);
+  }
+  const std::vector<exp::RunResult> results = exp::run_plan(plan, ctx.exec);
+  const exp::RunResult& be = results.front();
+
+  util::Table table(
+      {"q_ge", "quality", "energy_J", "saving_vs_BE", "aes_fraction"});
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const exp::RunResult& r = results[i + 1];
     table.begin_row();
-    table.add(target, 2);
+    table.add(targets[i], 2);
     table.add(r.quality, 4);
     table.add(r.energy, 1);
     table.add(1.0 - r.energy / be.energy, 4);

@@ -22,9 +22,9 @@ int main(int argc, char** argv) {
     exp::ExperimentConfig cfg = ctx.base;
     cfg.arrival_rate = rate;
     const exp::ReplicationSummary ge =
-        exp::replicate(cfg, exp::SchedulerSpec::parse("GE"), replicas);
+        exp::replicate(cfg, exp::SchedulerSpec::parse("GE"), replicas, ctx.exec);
     const exp::ReplicationSummary be =
-        exp::replicate(cfg, exp::SchedulerSpec::parse("BE"), replicas);
+        exp::replicate(cfg, exp::SchedulerSpec::parse("BE"), replicas, ctx.exec);
     table.begin_row();
     table.add(rate, 1);
     table.add(util::format_double(ge.quality.mean(), 4) + "+/-" +

@@ -10,26 +10,37 @@ int main(int argc, char** argv) {
 
   exp::ExperimentConfig base = ctx.base;
   base.arrival_rate = ctx.rates.front();
-  const workload::Trace trace =
-      workload::Trace::generate(base.workload_spec(), base.duration);
 
-  util::Table table({"quantum_s", "counter", "quality", "energy_J", "p99_ms",
-                     "rounds"});
+  // All nine (quantum, counter) combinations share the single point's trace
+  // and run concurrently on the engine.
+  struct Combo {
+    double quantum;
+    int counter;
+  };
+  std::vector<Combo> combos;
+  exp::ExperimentPlan plan;
   for (double quantum : {0.1, 0.5, 2.0}) {
     for (int counter : {1, 8, 32}) {
       exp::ExperimentConfig cfg = base;
       cfg.quantum = quantum;
       cfg.counter_threshold = counter;
-      const exp::RunResult r =
-          exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-      table.begin_row();
-      table.add(quantum, 2);
-      table.add(static_cast<std::uint64_t>(counter));
-      table.add(r.quality, 4);
-      table.add(r.energy, 1);
-      table.add(r.p99_response_ms, 1);
-      table.add(r.rounds);
+      plan.add(cfg, exp::SchedulerSpec::parse("GE"), 0);
+      combos.push_back({quantum, counter});
     }
+  }
+  const std::vector<exp::RunResult> results = exp::run_plan(plan, ctx.exec);
+
+  util::Table table({"quantum_s", "counter", "quality", "energy_J", "p99_ms",
+                     "rounds"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::RunResult& r = results[i];
+    table.begin_row();
+    table.add(combos[i].quantum, 2);
+    table.add(static_cast<std::uint64_t>(combos[i].counter));
+    table.add(r.quality, 4);
+    table.add(r.energy, 1);
+    table.add(r.p99_response_ms, 1);
+    table.add(r.rounds);
   }
   bench::print_panel(ctx, "GE sensitivity to the triggering parameters", table,
                      "the paper's (0.5 s, 8) sits in a flat region: idle-core "

@@ -8,7 +8,7 @@ int main(int argc, char** argv) {
   bench::print_banner(ctx, "Fig. 1", "execution-time share of the AES mode (GE)");
 
   const auto points = exp::sweep_arrival_rates(
-      ctx.base, {exp::SchedulerSpec::parse("GE")}, ctx.rates);
+      ctx.base, {exp::SchedulerSpec::parse("GE")}, ctx.rates, ctx.exec);
   util::Table table({"arrival_rate", "aes_fraction", "quality", "wf_round_share"});
   for (const auto& point : points) {
     const exp::RunResult& r = point.results.front();

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
       exp::SchedulerSpec::parse("GE"),   exp::SchedulerSpec::parse("OQ"),
       exp::SchedulerSpec::parse("BE"),   exp::SchedulerSpec::parse("FCFS"),
       exp::SchedulerSpec::parse("LJF"),  exp::SchedulerSpec::parse("SJF")};
-  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates);
+  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates, ctx.exec);
 
   bench::print_panel(
       ctx, "(a) service quality vs arrival rate",

@@ -9,7 +9,7 @@ int main(int argc, char** argv) {
 
   const std::vector<exp::SchedulerSpec> specs{
       exp::SchedulerSpec::parse("GE"), exp::SchedulerSpec::parse("GE-NoComp")};
-  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates);
+  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates, ctx.exec);
 
   bench::print_panel(
       ctx, "(a) service quality vs arrival rate",

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   bes.speed_cap_ghz = speed_cal.value;
   const std::vector<exp::SchedulerSpec> specs{exp::SchedulerSpec::parse("GE"), bep,
                                               bes};
-  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates);
+  const auto points = exp::sweep_arrival_rates(ctx.base, specs, ctx.rates, ctx.exec);
 
   bench::print_panel(
       ctx, "(a) service quality vs arrival rate",

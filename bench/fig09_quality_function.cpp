@@ -12,25 +12,20 @@ int main(int argc, char** argv) {
 
   const std::vector<double> cs{0.0005, 0.001, 0.002, 0.003, 0.005, 0.009};
 
-  // Panel (a): GE quality vs arrival rate, one series per c.
-  std::vector<std::string> header{"arrival_rate"};
+  // Panel (a): GE quality vs arrival rate, one series (variant) per c.
+  std::vector<exp::RunVariant> variants;
   for (double c : cs) {
-    header.push_back("c=" + util::format_double(c, 4));
+    variants.push_back({"c=" + util::format_double(c, 4),
+                        exp::SchedulerSpec::parse("GE"),
+                        [c](exp::ExperimentConfig cfg) {
+                          cfg.quality_c = c;
+                          return cfg;
+                        }});
   }
-  util::Table quality_table(std::move(header));
-  for (double rate : ctx.rates) {
-    quality_table.begin_row();
-    quality_table.add(rate, 1);
-    for (double c : cs) {
-      exp::ExperimentConfig cfg = ctx.base;
-      cfg.arrival_rate = rate;
-      cfg.quality_c = c;
-      const exp::RunResult r = exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"));
-      quality_table.add(r.quality, 4);
-    }
-  }
+  const auto points = exp::sweep_variants(
+      ctx.base, variants, ctx.rates, exp::configure_arrival_rate, ctx.exec);
   bench::print_panel(ctx, "(a) GE service quality vs arrival rate, per c",
-                     quality_table,
+                     exp::series_table(points, "arrival_rate", bench::metric_quality),
                      "larger c (more concave) keeps quality higher under "
                      "overload: partial evaluation buys more quality per unit "
                      "of work");

@@ -8,33 +8,24 @@ int main(int argc, char** argv) {
   bench::print_banner(ctx, "Fig. 10", "effect of the total power budget");
 
   const std::vector<double> budgets{80.0, 160.0, 320.0, 480.0};
-  std::vector<std::string> header{"arrival_rate"};
-  for (double b : budgets) {
-    header.push_back("H=" + util::format_double(b, 0) + "W");
+  std::vector<exp::RunVariant> variants;
+  for (double budget : budgets) {
+    variants.push_back({"H=" + util::format_double(budget, 0) + "W",
+                        exp::SchedulerSpec::parse("GE"),
+                        [budget](exp::ExperimentConfig cfg) {
+                          cfg.power_budget = budget;
+                          return cfg;
+                        }});
   }
-  util::Table quality_table(header);
-  util::Table energy_table(header);
-  for (double rate : ctx.rates) {
-    quality_table.begin_row();
-    energy_table.begin_row();
-    quality_table.add(rate, 1);
-    energy_table.add(rate, 1);
-    for (double budget : budgets) {
-      exp::ExperimentConfig cfg = ctx.base;
-      cfg.arrival_rate = rate;
-      cfg.power_budget = budget;
-      const exp::RunResult r = exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"));
-      quality_table.add(r.quality, 4);
-      energy_table.add(r.energy, 1);
-    }
-  }
+  const auto points = exp::sweep_variants(
+      ctx.base, variants, ctx.rates, exp::configure_arrival_rate, ctx.exec);
   bench::print_panel(ctx, "(a) GE service quality vs arrival rate per budget",
-                     quality_table,
+                     exp::series_table(points, "arrival_rate", bench::metric_quality),
                      "large budgets are unnecessary under light load; under "
                      "heavy load more budget keeps quality stable (80 W "
                      "collapses first)");
   bench::print_panel(ctx, "(b) GE energy (J) vs arrival rate per budget",
-                     energy_table,
+                     exp::series_table(points, "arrival_rate", bench::metric_energy, 1),
                      "energy grows with load until the budget saturates, then "
                      "flattens -- the knee appears earlier for small budgets");
   return 0;

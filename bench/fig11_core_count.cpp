@@ -8,15 +8,28 @@ int main(int argc, char** argv) {
   bench::print_banner(ctx, "Fig. 11",
                       "effect of the core count (fixed 320 W total budget)");
 
-  util::Table table({"log2_cores", "cores", "quality", "energy_J", "avg_speed_GHz"});
+  // One engine point per core count: the workload is identical everywhere,
+  // but each row keeps its own trace slot exactly as the serial loop did.
+  std::vector<double> log_cores;
   for (int x = 0; x <= 6; ++x) {
-    exp::ExperimentConfig cfg = ctx.base;
-    cfg.arrival_rate = ctx.rates.front();
-    cfg.cores = static_cast<std::size_t>(1) << x;
-    const exp::RunResult r = exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"));
+    log_cores.push_back(static_cast<double>(x));
+  }
+  const auto points = exp::sweep(
+      ctx.base, {exp::SchedulerSpec::parse("GE")}, log_cores,
+      [&ctx](exp::ExperimentConfig cfg, double x) {
+        cfg.arrival_rate = ctx.rates.front();
+        cfg.cores = static_cast<std::size_t>(1) << static_cast<int>(x);
+        return cfg;
+      },
+      ctx.exec);
+
+  util::Table table({"log2_cores", "cores", "quality", "energy_J", "avg_speed_GHz"});
+  for (const auto& point : points) {
+    const exp::RunResult& r = point.results.front();
     table.begin_row();
-    table.add(static_cast<std::uint64_t>(x));
-    table.add(static_cast<std::uint64_t>(cfg.cores));
+    table.add(static_cast<std::uint64_t>(point.x));
+    table.add(static_cast<std::uint64_t>(1)
+              << static_cast<int>(point.x));
     table.add(r.quality, 4);
     table.add(r.energy, 1);
     table.add(r.avg_speed_ghz, 3);

@@ -7,31 +7,21 @@ int main(int argc, char** argv) {
   const bench::FigureContext ctx = bench::parse_figure_args(argc, argv);
   bench::print_banner(ctx, "Fig. 12", "continuous vs discrete speed scaling");
 
-  util::Table quality_table({"arrival_rate", "continuous", "discrete"});
-  util::Table energy_table({"arrival_rate", "continuous", "discrete"});
-  for (double rate : ctx.rates) {
-    exp::ExperimentConfig cfg = ctx.base;
-    cfg.arrival_rate = rate;
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-    const exp::RunResult cont =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-    cfg.discrete_speeds = true;
-    const exp::RunResult disc =
-        exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
-    quality_table.begin_row();
-    quality_table.add(rate, 1);
-    quality_table.add(cont.quality, 4);
-    quality_table.add(disc.quality, 4);
-    energy_table.begin_row();
-    energy_table.add(rate, 1);
-    energy_table.add(cont.energy, 1);
-    energy_table.add(disc.energy, 1);
-  }
-  bench::print_panel(ctx, "(a) service quality vs arrival rate", quality_table,
+  const std::vector<exp::RunVariant> variants{
+      {"continuous", exp::SchedulerSpec::parse("GE"), nullptr},
+      {"discrete", exp::SchedulerSpec::parse("GE"),
+       [](exp::ExperimentConfig cfg) {
+         cfg.discrete_speeds = true;
+         return cfg;
+       }}};
+  const auto points = exp::sweep_variants(
+      ctx.base, variants, ctx.rates, exp::configure_arrival_rate, ctx.exec);
+  bench::print_panel(ctx, "(a) service quality vs arrival rate",
+                     exp::series_table(points, "arrival_rate", bench::metric_quality),
                      "discrete scaling loses a little quality under load "
                      "(cores cannot hit the ideal speed)");
-  bench::print_panel(ctx, "(b) energy (J) vs arrival rate", energy_table,
+  bench::print_panel(ctx, "(b) energy (J) vs arrival rate",
+                     exp::series_table(points, "arrival_rate", bench::metric_energy, 1),
                      "discrete scaling consumes marginally different energy "
                      "for the same reason (paper: marginally less)");
   return 0;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include <unistd.h>
+
 namespace ge::bench {
 
 FigureContext parse_figure_args(int argc, const char* const* argv,
@@ -14,6 +16,10 @@ FigureContext parse_figure_args(int argc, const char* const* argv,
   ctx.base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   ctx.rates = flags.get_double_list("rates", std::move(default_rates));
   ctx.csv = flags.get_bool("csv", false);
+  ctx.exec.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  // Progress goes to stderr; default it on only for interactive runs so
+  // CI logs and `2> file` captures stay clean.
+  ctx.exec.progress = flags.get_bool("progress", isatty(STDERR_FILENO) != 0);
   return ctx;
 }
 

@@ -5,6 +5,11 @@
 //   --seed N       workload seed (default 1)
 //   --rates a,b,c  arrival-rate sweep override
 //   --csv          print strict CSV instead of aligned tables
+//   --jobs N       worker threads for the experiment engine (default 0 =
+//                  hardware_concurrency; results are bit-identical for any
+//                  N, including 1)
+//   --progress     force the engine's live progress line on stderr on/off
+//                  (default: on when stderr is a terminal)
 // and prints one table per panel of the figure plus a note stating the
 // qualitative shape the paper reports, so EXPERIMENTS.md can record
 // paper-vs-measured directly from the output.
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "exp/config.h"
+#include "exp/experiment_engine.h"
 #include "exp/runner.h"
 #include "exp/scheduler_spec.h"
 #include "exp/sweep.h"
@@ -26,6 +32,8 @@ struct FigureContext {
   exp::ExperimentConfig base;
   std::vector<double> rates;
   bool csv = false;
+  // Engine execution options (--jobs / --progress); pass to the sweeps.
+  exp::ExecutionOptions exec;
 };
 
 // Parses the common flags and applies them to the paper-default config.

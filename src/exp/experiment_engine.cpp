@@ -1,0 +1,146 @@
+#include "exp/experiment_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "workload/trace.h"
+
+namespace ge::exp {
+namespace {
+
+// Lazily-generated shared trace of one plan point.  once_flag makes the
+// first worker to reach the point generate the trace while the others
+// block, so every task of the point replays identical randomness no matter
+// which worker gets there first.
+struct TraceSlot {
+  std::once_flag once;
+  workload::Trace trace;
+};
+
+// Live progress shared by the workers; guarded by its own mutex so slow
+// stderr writes never serialise the simulations themselves.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t total, bool enabled)
+      : total_(total), enabled_(enabled),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void task_done(double sim_seconds) {
+    if (!enabled_) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    sim_seconds_ += sim_seconds;
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    std::fprintf(stderr, "\r[engine] %zu/%zu tasks | %.0f sim-s | %.1f sim-s/s ",
+                 done_, total_, sim_seconds_,
+                 wall > 0.0 ? sim_seconds_ / wall : 0.0);
+    if (done_ == total_) {
+      std::fprintf(stderr, "\n");
+    }
+    std::fflush(stderr);
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t total_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+  std::size_t done_ = 0;
+  double sim_seconds_ = 0.0;
+};
+
+}  // namespace
+
+std::size_t ExperimentPlan::add(ExperimentConfig config, SchedulerSpec spec,
+                                std::size_t point) {
+  num_points_ = std::max(num_points_, point + 1);
+  tasks_.push_back(RunTask{std::move(config), std::move(spec), point});
+  return tasks_.size() - 1;
+}
+
+std::size_t ExperimentPlan::add_isolated(ExperimentConfig config,
+                                         SchedulerSpec spec) {
+  return add(std::move(config), std::move(spec), num_points_);
+}
+
+ExperimentEngine::ExperimentEngine(ExecutionOptions options)
+    : options_(options) {}
+
+std::size_t ExperimentEngine::effective_jobs(std::size_t tasks) const noexcept {
+  const std::size_t requested =
+      options_.jobs == 0 ? util::ThreadPool::default_concurrency() : options_.jobs;
+  return std::max<std::size_t>(1, std::min(requested, tasks));
+}
+
+std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
+  const std::vector<RunTask>& tasks = plan.tasks();
+  std::vector<RunResult> results(tasks.size());
+  if (tasks.empty()) {
+    return results;
+  }
+
+  // The first task of each point defines the point's trace; later tasks
+  // must describe the same workload or the "shared trace" pairing is a lie.
+  std::vector<const RunTask*> point_owner(plan.num_points(), nullptr);
+  for (const RunTask& task : tasks) {
+    const RunTask*& owner = point_owner[task.point];
+    if (owner == nullptr) {
+      owner = &task;
+      continue;
+    }
+    GE_CHECK(task.config.seed == owner->config.seed &&
+                 task.config.duration == owner->config.duration &&
+                 task.config.arrival_rate == owner->config.arrival_rate,
+             "tasks sharing a plan point must share the workload "
+             "(seed/duration/arrival_rate mismatch)");
+  }
+
+  std::vector<std::unique_ptr<TraceSlot>> trace_cache(plan.num_points());
+  for (auto& slot : trace_cache) {
+    slot = std::make_unique<TraceSlot>();
+  }
+  auto run_task = [&](std::size_t i) {
+    const RunTask& task = tasks[i];
+    TraceSlot& slot = *trace_cache[task.point];
+    std::call_once(slot.once, [&] {
+      const ExperimentConfig& cfg = point_owner[task.point]->config;
+      slot.trace = workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+    });
+    results[i] = run_simulation(task.config, task.spec, slot.trace);
+  };
+
+  ProgressMeter meter(tasks.size(), options_.progress);
+  const std::size_t jobs = effective_jobs(tasks.size());
+  if (jobs == 1) {
+    // Inline serial path: no pool, easier debugging, and the reference
+    // ordering the determinism tests compare the parallel path against.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      run_task(i);
+      meter.task_done(tasks[i].config.duration);
+    }
+    return results;
+  }
+
+  util::ThreadPool pool(jobs);
+  pool.parallel_for(tasks.size(), [&](std::size_t i) {
+    run_task(i);
+    meter.task_done(tasks[i].config.duration);
+  });
+  return results;
+}
+
+std::vector<RunResult> run_plan(const ExperimentPlan& plan,
+                                const ExecutionOptions& exec) {
+  return ExperimentEngine(exec).run(plan);
+}
+
+}  // namespace ge::exp

@@ -1,19 +1,23 @@
 #include "exp/replicate.h"
 
-#include "exp/runner.h"
 #include "util/check.h"
 
 namespace ge::exp {
 
 ReplicationSummary replicate(const ExperimentConfig& cfg, const SchedulerSpec& spec,
-                             int replicas) {
+                             int replicas, const ExecutionOptions& exec) {
   GE_CHECK(replicas > 0, "need at least one replica");
-  ReplicationSummary summary;
-  summary.replicas = replicas;
+  ExperimentPlan plan;
   for (int i = 0; i < replicas; ++i) {
     ExperimentConfig run_cfg = cfg;
     run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(i);
-    const RunResult r = run_simulation(run_cfg, spec);
+    plan.add_isolated(std::move(run_cfg), spec);
+  }
+  const std::vector<RunResult> results = run_plan(plan, exec);
+
+  ReplicationSummary summary;
+  summary.replicas = replicas;
+  for (const RunResult& r : results) {
     summary.quality.add(r.quality);
     summary.energy.add(r.energy);
     summary.aes_fraction.add(r.aes_fraction);

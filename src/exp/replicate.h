@@ -1,9 +1,16 @@
 // Multi-seed replication: run the same experiment over n independent seeds
 // and summarise the headline metrics with mean / stddev / extremes.  Used
 // to put confidence behind the single-seed figure reproductions.
+//
+// Like the sweeps, replicate() is a plan-builder over ExperimentEngine:
+// each replica is its own plan point (its own seed, its own trace) and the
+// replicas execute in parallel.  The summary accumulates results in
+// replica order regardless of worker count, so the statistics are
+// bit-identical to a serial run.
 #pragma once
 
 #include "exp/config.h"
+#include "exp/experiment_engine.h"
 #include "exp/scheduler_spec.h"
 #include "util/stats.h"
 
@@ -19,6 +26,6 @@ struct ReplicationSummary {
 
 // Runs `replicas` simulations with seeds base_seed, base_seed+1, ...
 ReplicationSummary replicate(const ExperimentConfig& cfg, const SchedulerSpec& spec,
-                             int replicas);
+                             int replicas, const ExecutionOptions& exec = {});
 
 }  // namespace ge::exp

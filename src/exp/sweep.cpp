@@ -3,46 +3,84 @@
 #include "util/check.h"
 
 namespace ge::exp {
+namespace {
 
-std::vector<SweepPoint> sweep(
-    const ExperimentConfig& base, const std::vector<SchedulerSpec>& specs,
-    const std::vector<double>& xs,
-    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure) {
-  GE_CHECK(!specs.empty(), "sweep needs at least one scheduler");
+// Slices the engine's flat, task-ordered result vector back into the
+// point-major grid the plan builders appended.
+std::vector<SweepPoint> collect_points(const std::vector<double>& xs,
+                                       std::size_t per_point,
+                                       std::vector<RunResult> results) {
   std::vector<SweepPoint> points;
   points.reserve(xs.size());
+  std::size_t next = 0;
   for (double x : xs) {
-    const ExperimentConfig cfg = configure(base, x);
-    const workload::Trace trace =
-        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
     SweepPoint point;
     point.x = x;
-    point.results.reserve(specs.size());
-    for (const SchedulerSpec& spec : specs) {
-      point.results.push_back(run_simulation(cfg, spec, trace));
+    point.results.reserve(per_point);
+    for (std::size_t s = 0; s < per_point; ++s) {
+      point.results.push_back(std::move(results[next++]));
     }
     points.push_back(std::move(point));
   }
   return points;
 }
 
+}  // namespace
+
+std::vector<SweepPoint> sweep(
+    const ExperimentConfig& base, const std::vector<SchedulerSpec>& specs,
+    const std::vector<double>& xs,
+    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure,
+    const ExecutionOptions& exec) {
+  GE_CHECK(!specs.empty(), "sweep needs at least one scheduler");
+  ExperimentPlan plan;
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    const ExperimentConfig cfg = configure(base, xs[p]);
+    for (const SchedulerSpec& spec : specs) {
+      plan.add(cfg, spec, p);
+    }
+  }
+  return collect_points(xs, specs.size(), run_plan(plan, exec));
+}
+
 std::vector<SweepPoint> sweep_arrival_rates(const ExperimentConfig& base,
                                             const std::vector<SchedulerSpec>& specs,
-                                            const std::vector<double>& rates) {
-  return sweep(base, specs, rates, [](ExperimentConfig cfg, double rate) {
-    cfg.arrival_rate = rate;
-    return cfg;
-  });
+                                            const std::vector<double>& rates,
+                                            const ExecutionOptions& exec) {
+  return sweep(base, specs, rates, configure_arrival_rate, exec);
+}
+
+std::vector<SweepPoint> sweep_variants(
+    const ExperimentConfig& base, const std::vector<RunVariant>& variants,
+    const std::vector<double>& xs,
+    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure,
+    const ExecutionOptions& exec) {
+  GE_CHECK(!variants.empty(), "sweep needs at least one variant");
+  ExperimentPlan plan;
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    const ExperimentConfig cfg = configure(base, xs[p]);
+    for (const RunVariant& variant : variants) {
+      plan.add(variant.tweak ? variant.tweak(cfg) : cfg, variant.spec, p);
+    }
+  }
+  std::vector<RunResult> results = run_plan(plan, exec);
+  // Overwrite the runner's scheduler name with the variant label so that
+  // series_table() headers name the compared series, not "GE" six times.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].scheduler = variants[i % variants.size()].label;
+  }
+  return collect_points(xs, variants.size(), std::move(results));
 }
 
 util::Table series_table(const std::vector<SweepPoint>& points,
                          const std::string& x_name,
                          const std::function<double(const RunResult&)>& metric,
                          int precision) {
-  GE_CHECK(!points.empty(), "empty sweep");
   std::vector<std::string> header{x_name};
-  for (const RunResult& r : points.front().results) {
-    header.push_back(r.scheduler);
+  if (!points.empty()) {
+    for (const RunResult& r : points.front().results) {
+      header.push_back(r.scheduler);
+    }
   }
   util::Table table(std::move(header));
   for (const SweepPoint& point : points) {
@@ -57,6 +95,11 @@ util::Table series_table(const std::vector<SweepPoint>& points,
 
 std::vector<double> paper_arrival_rates() {
   return {100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0};
+}
+
+ExperimentConfig configure_arrival_rate(ExperimentConfig cfg, double rate) {
+  cfg.arrival_rate = rate;
+  return cfg;
 }
 
 }  // namespace ge::exp

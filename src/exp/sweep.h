@@ -1,6 +1,12 @@
 // Sweep helpers shared by the figure-reproduction benchmarks: run a set of
-// schedulers across a parameter range on shared traces and render the
-// series as a table.
+// schedulers (or config variants) across a parameter range on shared
+// traces and render the series as a table.
+//
+// All sweeps are thin plan-builders over exp::ExperimentEngine: each sweep
+// point is one plan point (one shared trace), each scheduler or variant at
+// the point is one RunTask, and the engine executes the flat plan on a
+// worker pool.  Pass ExecutionOptions to control the worker count; results
+// are bit-identical for any worker count.
 #pragma once
 
 #include <functional>
@@ -8,6 +14,7 @@
 #include <vector>
 
 #include "exp/config.h"
+#include "exp/experiment_engine.h"
 #include "exp/runner.h"
 #include "exp/scheduler_spec.h"
 #include "util/table.h"
@@ -16,24 +23,48 @@ namespace ge::exp {
 
 struct SweepPoint {
   double x = 0.0;                  // swept parameter value
-  std::vector<RunResult> results;  // one per scheduler, input order
+  std::vector<RunResult> results;  // one per scheduler/variant, input order
 };
 
 // Runs every scheduler at every arrival rate.  Schedulers at the same rate
 // share one trace, so comparisons are paired.
 std::vector<SweepPoint> sweep_arrival_rates(const ExperimentConfig& base,
                                             const std::vector<SchedulerSpec>& specs,
-                                            const std::vector<double>& rates);
+                                            const std::vector<double>& rates,
+                                            const ExecutionOptions& exec = {});
 
 // Generic sweep: `configure` maps (base config, x) to the config for that
 // point.  Schedulers at the same point share one trace.
 std::vector<SweepPoint> sweep(
     const ExperimentConfig& base, const std::vector<SchedulerSpec>& specs,
     const std::vector<double>& xs,
-    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure);
+    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure,
+    const ExecutionOptions& exec = {});
+
+// One compared series of a variant sweep: a display label, the scheduler to
+// run, and an optional config tweak applied on top of the point config.
+// Tweaks must not change the workload-shaping fields (seed, duration,
+// arrival and demand parameters) -- variants at a point share one trace,
+// and the engine aborts on the mismatches it can detect.
+struct RunVariant {
+  std::string label;
+  SchedulerSpec spec;
+  std::function<ExperimentConfig(ExperimentConfig)> tweak;  // may be null
+};
+
+// Generalised sweep where the compared series differ by scheduler *and/or*
+// config (e.g. one GE column per critical-load threshold).  Each returned
+// RunResult carries its variant's label in `scheduler`, so series_table()
+// renders variant sweeps unchanged.
+std::vector<SweepPoint> sweep_variants(
+    const ExperimentConfig& base, const std::vector<RunVariant>& variants,
+    const std::vector<double>& xs,
+    const std::function<ExperimentConfig(ExperimentConfig, double)>& configure,
+    const ExecutionOptions& exec = {});
 
 // Renders one metric of a sweep as a table: column 0 is the swept value,
-// one column per scheduler.
+// one column per scheduler.  An empty sweep yields a table with only the
+// x-column header.
 util::Table series_table(const std::vector<SweepPoint>& points,
                          const std::string& x_name,
                          const std::function<double(const RunResult&)>& metric,
@@ -41,5 +72,8 @@ util::Table series_table(const std::vector<SweepPoint>& points,
 
 // The arrival rates the paper sweeps in most figures (100..250 req/s).
 std::vector<double> paper_arrival_rates();
+
+// `configure` for sweeps whose x axis is the arrival rate.
+ExperimentConfig configure_arrival_rate(ExperimentConfig cfg, double rate);
 
 }  // namespace ge::exp

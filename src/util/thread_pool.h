@@ -1,0 +1,67 @@
+// Fixed-size worker pool for CPU-bound task fan-out.
+//
+// The pool owns `threads` std::threads for its whole lifetime; submitted
+// tasks are queued FIFO and executed by whichever worker frees up first.
+// wait() blocks until every submitted task has finished, so a pool can be
+// reused for several fan-out rounds.  If a task throws, the first exception
+// is captured and rethrown from wait() (or the destructor's implicit wait
+// swallows it -- call wait() if you care).
+//
+// This is the execution substrate of exp::ExperimentEngine: simulation runs
+// are pure functions of their inputs, so scheduling them on any number of
+// workers must not change results -- the pool therefore makes no ordering
+// promises beyond FIFO dispatch, and callers index results by task, never
+// by completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ge::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task.  Must not be called concurrently with the destructor.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running, then rethrows
+  // the first exception any task raised since the last wait().
+  void wait();
+
+  std::size_t threads() const noexcept { return workers_.size(); }
+
+  // Runs body(0) .. body(n-1) on the pool and blocks until all complete.
+  // Iterations are claimed dynamically, one at a time, so ragged task
+  // durations still load-balance.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // hardware_concurrency(), with the mandated fallback to 1 when unknown.
+  static std::size_t default_concurrency() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // queue grew or shutdown
+  std::condition_variable all_done_;     // pending_ hit zero
+  std::deque<std::function<void()>> queue_;
+  std::size_t pending_ = 0;  // queued + running tasks
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ge::util

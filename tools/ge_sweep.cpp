@@ -7,11 +7,13 @@
 //
 //   ge_sweep --schedulers GE,BE,FCFS --rates 100,150,200 --seconds 30
 //            [--metric quality|energy|p99|aes|power] [--csv | --json]
-//            [any ExperimentConfig flag, see exp/flags_config.h]
+//            [--jobs N] [any ExperimentConfig flag, see exp/flags_config.h]
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "exp/flags_config.h"
 #include "exp/report.h"
@@ -68,9 +70,13 @@ int main(int argc, char** argv) {
   const std::vector<double> rates =
       flags.get_double_list("rates", {base.arrival_rate});
 
+  exp::ExecutionOptions exec;
+  exec.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  exec.progress = flags.get_bool("progress", isatty(STDERR_FILENO) != 0);
+  const auto points = exp::sweep_arrival_rates(base, specs, rates, exec);
+
   if (flags.get_bool("json", false)) {
     // One JSON record per (rate, scheduler) run; schedulers share traces.
-    const auto points = exp::sweep_arrival_rates(base, specs, rates);
     for (const auto& point : points) {
       for (const auto& result : point.results) {
         std::printf("%s\n", exp::to_json(result).c_str());
@@ -80,7 +86,6 @@ int main(int argc, char** argv) {
   }
 
   const std::string metric = flags.get_string("metric", "quality");
-  const auto points = exp::sweep_arrival_rates(base, specs, rates);
   const util::Table table = exp::series_table(
       points, "arrival_rate",
       [&metric](const exp::RunResult& r) { return metric_value(r, metric); },
