@@ -20,6 +20,10 @@ FigureContext parse_figure_args(int argc, const char* const* argv,
   // Progress goes to stderr; default it on only for interactive runs so
   // CI logs and `2> file` captures stay clean.
   ctx.exec.progress = flags.get_bool("progress", isatty(STDERR_FILENO) != 0);
+  ctx.exec.telemetry.trace_path = flags.get_string("trace", "");
+  ctx.exec.telemetry.trace_format =
+      obs::parse_trace_format(flags.get_string("trace-format", "jsonl"));
+  ctx.exec.telemetry.metrics_path = flags.get_string("metrics", "");
   return ctx;
 }
 

@@ -10,6 +10,11 @@
 //                  N, including 1)
 //   --progress     force the engine's live progress line on stderr on/off
 //                  (default: on when stderr is a terminal)
+//   --trace F      write a simulation trace of every run to F
+//   --trace-format jsonl|chrome   trace encoding (default jsonl; chrome
+//                  loads in Perfetto / about:tracing)
+//   --metrics F    write the merged metrics registry (JSON) to F
+// (flag reference: docs/CLI.md; telemetry schema: docs/OBSERVABILITY.md)
 // and prints one table per panel of the figure plus a note stating the
 // qualitative shape the paper reports, so EXPERIMENTS.md can record
 // paper-vs-measured directly from the output.

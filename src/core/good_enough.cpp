@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/plan_rectifier.h"
+#include "obs/telemetry.h"
 #include "opt/energy_opt.h"
 #include "opt/job_cutter.h"
 #include "opt/quality_opt.h"
@@ -49,6 +50,21 @@ GoodEnoughScheduler::GoodEnoughScheduler(SchedulerEnv env, GoodEnoughOptions opt
   GE_CHECK(options_.quantum > 0.0, "quantum must be positive");
   GE_CHECK(options_.counter_threshold > 0, "counter threshold must be positive");
   mode_ = options_.cutting ? Mode::kAes : Mode::kBq;
+  if (obs::Telemetry* tel = env_.sim->telemetry();
+      tel != nullptr && tel->metrics != nullptr) {
+    obs::MetricsRegistry& reg = *tel->metrics;
+    m_rounds_ = &reg.counter("ge.rounds", "rounds");
+    m_rounds_aes_ = &reg.counter("ge.rounds_aes", "rounds");
+    m_rounds_bq_ = &reg.counter("ge.rounds_bq", "rounds");
+    m_rounds_es_ = &reg.counter("ge.rounds_equal_sharing", "rounds");
+    m_rounds_wf_ = &reg.counter("ge.rounds_water_filling", "rounds");
+    m_mode_switches_ = &reg.counter("ge.mode_switches", "switches");
+    m_plans_ = &reg.counter("ge.plan_recomputations", "plans");
+    m_qopt_trims_ = &reg.counter("ge.quality_opt_trims", "plans");
+    m_cut_level_ = &reg.histogram(
+        "ge.cut_level_units", {130, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
+        "units");
+  }
 }
 
 void GoodEnoughScheduler::start() {
@@ -162,8 +178,23 @@ void GoodEnoughScheduler::set_targets(server::Core& core, Mode mode) {
   }
   const opt::CutResult cut =
       opt::cut_longest_first(demands, *env_.quality_function, options_.cut_target);
+  double target_units = 0.0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     jobs[i]->target = std::max(cut.targets[i], std::min(jobs[i]->executed, jobs[i]->demand));
+    target_units += jobs[i]->target;
+  }
+  if (m_cut_level_ != nullptr) {
+    m_cut_level_->observe(cut.level);
+  }
+  if (trace() != nullptr) {
+    obs::TraceEvent ev;
+    ev.type = obs::TraceEventType::kCut;
+    ev.t = now();
+    ev.core = core.id();
+    ev.a = static_cast<double>(jobs.size());
+    ev.b = cut.level;
+    ev.c = target_units;
+    trace()->push(ev);
   }
 }
 
@@ -199,6 +230,9 @@ std::vector<double> GoodEnoughScheduler::distribute_power() {
       options_.power_policy, load_.rate(now()), options_.critical_load);
   if (policy == power::DistributionPolicy::kEqualSharing) {
     ++es_rounds_;
+    if (m_rounds_es_ != nullptr) {
+      m_rounds_es_->increment();
+    }
     // Equal share over the *online* cores; offline cores draw nothing.
     std::vector<double> caps(m, 0.0);
     if (alive > 0) {
@@ -210,6 +244,9 @@ std::vector<double> GoodEnoughScheduler::distribute_power() {
     return caps;
   }
   ++wf_rounds_;
+  if (m_rounds_wf_ != nullptr) {
+    m_rounds_wf_->increment();
+  }
   std::vector<double> demands(m);
   for (std::size_t i = 0; i < m; ++i) {
     demands[i] = env_.server->core(i).online()
@@ -240,10 +277,16 @@ void GoodEnoughScheduler::plan_core(server::Core& core, double cap_watts,
     core.install_plan(opt::ExecutionPlan{}, cap_watts);
     return;
   }
+  if (m_plans_ != nullptr) {
+    m_plans_->increment();
+  }
   const double required = opt::required_speed(t, plan_jobs);
   if (required > s_cap * (1.0 + 1e-9)) {
     // Quality-OPT second cut (Sec. III-E): the cap cannot meet the targets;
     // trim them to maximise achievable quality under the cap.
+    if (m_qopt_trims_ != nullptr) {
+      m_qopt_trims_->increment();
+    }
     std::vector<opt::AllocJob> alloc_jobs(plan_jobs.size());
     for (std::size_t i = 0; i < plan_jobs.size(); ++i) {
       alloc_jobs[i] = opt::AllocJob{plan_jobs[i].job->executed, plan_jobs[i].remaining,
@@ -291,6 +334,10 @@ void GoodEnoughScheduler::schedule_round() {
   const double t = now();
   ++rounds_;
   account_mode_time();
+  const std::size_t waiting_at_trigger = waiting_.size();
+  if (m_rounds_ != nullptr) {
+    m_rounds_->increment();
+  }
 
   // 1. Settle waiting jobs whose deadline already passed.
   for (workload::Job* job : waiting_) {
@@ -328,7 +375,32 @@ void GoodEnoughScheduler::schedule_round() {
 
   // 4. Execution mode (compensation policy) and per-core cut targets.
   // Offline cores are skipped: their stranded jobs settle at deadline.
+  const Mode previous_mode = mode_;
   mode_ = choose_mode();
+  if (m_rounds_ != nullptr) {
+    (mode_ == Mode::kAes ? m_rounds_aes_ : m_rounds_bq_)->increment();
+    if (mode_ != previous_mode) {
+      m_mode_switches_->increment();
+    }
+  }
+  if (trace() != nullptr) {
+    if (mode_ != previous_mode) {
+      obs::TraceEvent ev;
+      ev.type = obs::TraceEventType::kModeSwitch;
+      ev.t = t;
+      ev.mode = mode_ == Mode::kAes ? obs::kModeAes : obs::kModeBq;
+      ev.a = env_.monitor->quality();
+      trace()->push(ev);
+    }
+    obs::TraceEvent ev;
+    ev.type = obs::TraceEventType::kRound;
+    ev.t = t;
+    ev.mode = mode_ == Mode::kAes ? obs::kModeAes : obs::kModeBq;
+    ev.a = static_cast<double>(waiting_at_trigger);
+    ev.b = load_.rate(t);
+    ev.c = static_cast<double>(rounds_);
+    trace()->push(ev);
+  }
   for (std::size_t i = 0; i < m; ++i) {
     if (env_.server->core(i).online()) {
       set_targets(env_.server->core(i), mode_);
@@ -347,6 +419,16 @@ void GoodEnoughScheduler::schedule_round() {
   // 5. Power caps.
   std::vector<double> caps = distribute_power();
   env_.server->check_caps(caps);
+  if (trace() != nullptr) {
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      obs::TraceEvent ev;
+      ev.type = obs::TraceEventType::kCap;
+      ev.t = t;
+      ev.core = static_cast<std::int32_t>(i);
+      ev.a = caps[i];
+      trace()->push(ev);
+    }
+  }
 
   // 6. Per-core planning.  With a discrete ladder the paper rectifies
   // lowest-assigned-power cores first; keep index order otherwise.

@@ -120,6 +120,18 @@ class GoodEnoughScheduler : public Scheduler {
   std::uint64_t es_rounds_ = 0;
   bool in_round_ = false;
   sim::EventId quantum_event_ = sim::kInvalidEventId;
+
+  // Cached telemetry handles (null when metrics are off); catalog in
+  // docs/OBSERVABILITY.md.
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Counter* m_rounds_aes_ = nullptr;
+  obs::Counter* m_rounds_bq_ = nullptr;
+  obs::Counter* m_rounds_es_ = nullptr;
+  obs::Counter* m_rounds_wf_ = nullptr;
+  obs::Counter* m_mode_switches_ = nullptr;
+  obs::Counter* m_plans_ = nullptr;
+  obs::Counter* m_qopt_trims_ = nullptr;
+  obs::Histogram* m_cut_level_ = nullptr;
 };
 
 }  // namespace ge::sched

@@ -17,6 +17,12 @@
 #include "sim/simulator.h"
 #include "workload/job.h"
 
+namespace ge::obs {
+class Counter;
+class Histogram;
+class TraceBuffer;
+}
+
 namespace ge::sched {
 
 struct SchedulerEnv {
@@ -76,10 +82,25 @@ class Scheduler {
 
   double now() const noexcept { return env_.sim->now(); }
 
+  // Trace buffer of the run, or nullptr when tracing is off.  Cached at
+  // construction (the runner installs telemetry on the simulator before
+  // building the scheduler), so subclasses pay one pointer test per emit.
+  obs::TraceBuffer* trace() const noexcept { return trace_; }
+
   SchedulerEnv env_;
 
  private:
   std::string name_;
+
+  // Cached metric handles (null when metrics are off); see the catalog in
+  // docs/OBSERVABILITY.md for the semantics of each.
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::Counter* m_settled_ = nullptr;
+  obs::Counter* m_cut_ = nullptr;
+  obs::Counter* m_missed_ = nullptr;
+  obs::Histogram* m_response_ms_ = nullptr;
+  obs::Histogram* m_slack_ms_ = nullptr;
+  obs::Histogram* m_job_quality_ = nullptr;
 };
 
 }  // namespace ge::sched

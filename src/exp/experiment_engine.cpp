@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 
@@ -58,6 +59,39 @@ class ProgressMeter {
   double sim_seconds_ = 0.0;
 };
 
+// Serialises the per-task telemetry in task order (the only order that keeps
+// the output independent of worker scheduling).
+void write_telemetry(const obs::TelemetryOptions& opts,
+                     const std::vector<RunTask>& tasks,
+                     const std::vector<std::unique_ptr<obs::RunTelemetry>>& telem) {
+  if (!opts.metrics_path.empty()) {
+    obs::MetricsRegistry merged;
+    for (const auto& t : telem) {
+      merged.merge(t->metrics);
+    }
+    std::ofstream out(opts.metrics_path);
+    GE_CHECK(out.good(), "cannot open --metrics output file");
+    merged.write_json(out);
+  }
+  if (!opts.trace_path.empty()) {
+    std::ofstream out(opts.trace_path);
+    GE_CHECK(out.good(), "cannot open --trace output file");
+    obs::TraceWriter writer(out, opts.trace_format);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const RunTask& task = tasks[i];
+      obs::TraceTaskInfo info;
+      info.task = i;
+      info.scheduler = task.spec.display_name();
+      info.arrival_rate = task.config.arrival_rate;
+      info.cores = task.config.cores;
+      info.power_budget = effective_budget(task.spec, task.config);
+      info.power_model_json = task.config.power_model().describe_json();
+      writer.append_task(info, telem[i]->trace);
+    }
+    writer.close();
+  }
+}
+
 }  // namespace
 
 std::size_t ExperimentPlan::add(ExperimentConfig config, SchedulerSpec spec,
@@ -108,6 +142,20 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
   for (auto& slot : trace_cache) {
     slot = std::make_unique<TraceSlot>();
   }
+
+  const bool want_telemetry = options_.telemetry.enabled();
+#ifdef GE_NO_TELEMETRY
+  GE_CHECK(!want_telemetry,
+           "telemetry output requested, but this binary was built with "
+           "-DGE_TELEMETRY=OFF");
+#endif
+  std::vector<std::unique_ptr<obs::RunTelemetry>> telem(
+      want_telemetry ? tasks.size() : 0);
+  for (auto& t : telem) {
+    t = std::make_unique<obs::RunTelemetry>();
+    t->want_trace = !options_.telemetry.trace_path.empty();
+  }
+
   auto run_task = [&](std::size_t i) {
     const RunTask& task = tasks[i];
     TraceSlot& slot = *trace_cache[task.point];
@@ -115,7 +163,8 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
       const ExperimentConfig& cfg = point_owner[task.point]->config;
       slot.trace = workload::Trace::generate(cfg.workload_spec(), cfg.duration);
     });
-    results[i] = run_simulation(task.config, task.spec, slot.trace);
+    results[i] = run_simulation(task.config, task.spec, slot.trace, nullptr,
+                                want_telemetry ? telem[i].get() : nullptr);
   };
 
   ProgressMeter meter(tasks.size(), options_.progress);
@@ -127,14 +176,17 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
       run_task(i);
       meter.task_done(tasks[i].config.duration);
     }
-    return results;
+  } else {
+    util::ThreadPool pool(jobs);
+    pool.parallel_for(tasks.size(), [&](std::size_t i) {
+      run_task(i);
+      meter.task_done(tasks[i].config.duration);
+    });
   }
 
-  util::ThreadPool pool(jobs);
-  pool.parallel_for(tasks.size(), [&](std::size_t i) {
-    run_task(i);
-    meter.task_done(tasks[i].config.duration);
-  });
+  if (want_telemetry) {
+    write_telemetry(options_.telemetry, tasks, telem);
+  }
   return results;
 }
 

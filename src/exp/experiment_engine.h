@@ -25,6 +25,7 @@
 #include "exp/config.h"
 #include "exp/runner.h"
 #include "exp/scheduler_spec.h"
+#include "obs/telemetry.h"
 
 namespace ge::exp {
 
@@ -65,6 +66,12 @@ struct ExecutionOptions {
   // to stderr while the plan runs (tables go to stdout, so progress never
   // contaminates captured output).
   bool progress = false;
+  // Telemetry outputs requested via --trace / --trace-format / --metrics.
+  // Each task records into its own RunTelemetry; after the plan finishes the
+  // engine merges metrics and serialises traces in task order, so telemetry
+  // files inherit the engine's determinism contract (byte-identical for any
+  // worker count).
+  obs::TelemetryOptions telemetry;
 };
 
 class ExperimentEngine {

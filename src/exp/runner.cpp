@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/good_enough.h"
+#include "obs/telemetry.h"
 #include "quality/quality_function.h"
 #include "quality/quality_monitor.h"
 #include "server/multicore_server.h"
@@ -33,8 +34,25 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
 
 RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
                          const workload::Trace& trace, Timeline* timeline) {
+  return run_simulation(cfg, spec, trace, timeline, nullptr);
+}
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace, Timeline* timeline,
+                         obs::RunTelemetry* telemetry) {
   cfg.validate();
   sim::Simulator sim;
+  // Install telemetry before any component is built: cores and schedulers
+  // cache their handles at construction.
+  obs::Telemetry tel_view;
+  if (telemetry != nullptr) {
+    tel_view = telemetry->view();
+    sim.set_telemetry(&tel_view);
+  }
+  obs::TraceBuffer* trace_buf = nullptr;
+  if (obs::Telemetry* tel = sim.telemetry()) {
+    trace_buf = tel->trace;
+  }
   const power::PowerModel pm = cfg.power_model();
   const double budget = effective_budget(spec, cfg);
   server::MulticoreServer server(cfg.core_power_models(), budget, sim);
@@ -67,7 +85,18 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
   // Private, mutable copy of the trace; addresses are stable for the run.
   std::vector<workload::Job> jobs = trace.jobs();
   for (workload::Job& job : jobs) {
-    sim.schedule_at(job.arrival, [&scheduler, &job] { scheduler->on_job_arrival(&job); });
+    sim.schedule_at(job.arrival, [&scheduler, &job, trace_buf] {
+      if (trace_buf != nullptr) {
+        obs::TraceEvent ev;
+        ev.type = obs::TraceEventType::kArrival;
+        ev.t = job.arrival;
+        ev.job = static_cast<std::int64_t>(job.id);
+        ev.a = job.demand;
+        ev.b = job.deadline;
+        trace_buf->push(ev);
+      }
+      scheduler->on_job_arrival(&job);
+    });
     sim.schedule_at(job.deadline, [&scheduler, &job] { scheduler->on_deadline(&job); });
   }
 
@@ -178,6 +207,26 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     result.rounds = ge->rounds();
     result.wf_rounds = ge->wf_rounds();
     result.es_rounds = ge->es_rounds();
+  }
+
+  if (telemetry != nullptr) {
+    obs::MetricsRegistry& reg = telemetry->metrics;
+    reg.counter("jobs.released", "jobs").add(static_cast<double>(result.released));
+    reg.counter("jobs.completed", "jobs").add(static_cast<double>(result.completed));
+    reg.counter("jobs.partial", "jobs").add(static_cast<double>(result.partial));
+    reg.counter("jobs.dropped", "jobs").add(static_cast<double>(result.dropped));
+    reg.counter("energy.total_j", "J").add(result.energy);
+    reg.counter("energy.static_j", "J").add(result.static_energy);
+    reg.counter("sim.events_executed", "events")
+        .add(static_cast<double>(sim.executed_events()));
+    // Worst run quality across merged tasks; the full distribution is in the
+    // run.quality histogram.
+    reg.gauge("quality.monitored", "ratio", obs::Gauge::Merge::kMin)
+        .set(result.quality);
+    reg.histogram("run.quality",
+                  {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, "ratio")
+        .observe(result.quality);
+    server.export_metrics(reg, horizon);
   }
   return result;
 }

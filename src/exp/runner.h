@@ -15,6 +15,10 @@
 #include "exp/scheduler_spec.h"
 #include "workload/trace.h"
 
+namespace ge::obs {
+struct RunTelemetry;
+}
+
 namespace ge::exp {
 
 struct RunResult {
@@ -67,5 +71,14 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
 struct Timeline;
 RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
                          const workload::Trace& trace, Timeline* timeline);
+
+// As above, additionally recording telemetry (metrics and, if
+// telemetry->want_trace, trace events) into `telemetry`.  Either pointer may
+// be null.  The registry and buffer are filled per run; callers (the
+// experiment engine) merge them across runs in task order so output stays
+// deterministic.  See docs/OBSERVABILITY.md for the schema.
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace, Timeline* timeline,
+                         obs::RunTelemetry* telemetry);
 
 }  // namespace ge::exp

@@ -1,0 +1,120 @@
+// Simulation metrics registry: counters, gauges and fixed-bucket histograms
+// with deterministic aggregation.
+//
+// A MetricsRegistry is a flat, name-keyed set of metrics created lazily by
+// the instrumented code (creation order is preserved and defines the output
+// order).  One registry belongs to exactly one simulation run -- the
+// simulator is single-threaded, so metrics need no atomics -- and the
+// experiment engine aggregates per-run registries with merge(), always in
+// task order, so a parallel sweep's merged metrics file is byte-identical
+// to a serial run's (the same doubles are added in the same order).
+//
+// The full metric catalog (every name, unit and emitting site) lives in
+// docs/OBSERVABILITY.md; keep the two in sync when adding metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ge::obs {
+
+// Monotone sum.  Double-valued so energy/seconds accumulate directly
+// (Prometheus-style); merge adds.
+class Counter {
+ public:
+  void add(double delta) noexcept { value_ += delta; }
+  void increment() noexcept { value_ += 1.0; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Last-written value plus an explicit cross-run combine rule, because "the
+// gauge of two merged runs" is not well-defined without one (e.g. monitored
+// quality merges as the worst run, energy totals as the sum).
+class Gauge {
+ public:
+  enum class Merge { kSum, kMin, kMax, kLast };
+
+  void set(double value) noexcept { value_ = value; written_ = true; }
+  double value() const noexcept { return value_; }
+  bool written() const noexcept { return written_; }
+  Merge merge_mode() const noexcept { return merge_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+  bool written_ = false;
+  Merge merge_ = Merge::kSum;
+};
+
+// Fixed-bucket histogram: counts per upper bound (plus one overflow bucket)
+// and running count/sum/min/max.  Bounds are fixed at creation; merging
+// registries requires identical bounds.
+class Histogram {
+ public:
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // bucket_counts()[i] counts values <= bounds()[i]; the final entry is the
+  // overflow bucket (> bounds().back()).
+  const std::vector<std::uint64_t>& bucket_counts() const noexcept { return counts_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(MetricsRegistry&&) noexcept;
+  MetricsRegistry& operator=(MetricsRegistry&&) noexcept;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Lazy get-or-create; returned references are stable for the registry's
+  // lifetime.  Re-requesting a name with a different kind, unit or (for
+  // histograms) bucket bounds is a checked error.
+  Counter& counter(std::string_view name, std::string_view unit = "");
+  Gauge& gauge(std::string_view name, std::string_view unit = "",
+               Gauge::Merge merge = Gauge::Merge::kSum);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view unit = "");
+
+  std::size_t size() const noexcept;
+
+  // Folds `other` into this registry: counters and histograms add, gauges
+  // combine per their merge mode, metrics missing here are appended in
+  // `other`'s creation order.  Deterministic: merging the same registries
+  // in the same order always yields the same bytes from write_json().
+  void merge(const MetricsRegistry& other);
+
+  // The documented metrics-file schema (docs/OBSERVABILITY.md): one JSON
+  // object, metrics in creation order.  Stable formatting so equal
+  // registries serialise to equal bytes.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Entry;
+  const Entry* find(std::string_view name) const;
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace ge::obs

@@ -1,0 +1,56 @@
+// Telemetry façade: the single pointer instrumented components test.
+//
+// A RunTelemetry owns one simulation run's MetricsRegistry and TraceBuffer;
+// run_simulation hangs a non-owning Telemetry view of it on the Simulator,
+// and every component that already holds the simulator (cores, schedulers,
+// the runner itself) reaches telemetry through sim->telemetry().
+//
+// Cost model: with telemetry off the pointer is null and every hook is one
+// predictable branch (components cache the metric handles they use at
+// construction time, so the off path never touches the registry).  Building
+// with -DGE_TELEMETRY=OFF compiles the hooks out entirely:
+// Simulator::telemetry() becomes a constexpr nullptr and the branches fold
+// away -- that configuration is the baseline for the overhead numbers in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ge::obs {
+
+// Non-owning view handed to instrumented components.  Either pointer may be
+// null independently (metrics-only runs skip trace recording and vice
+// versa).
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;
+  TraceBuffer* trace = nullptr;
+};
+
+// Per-run telemetry storage, created by the experiment engine (one per
+// RunTask) or by a direct run_simulation caller.
+struct RunTelemetry {
+  MetricsRegistry metrics;
+  TraceBuffer trace;
+  bool want_trace = true;  // false: metrics-only, skip event recording
+
+  Telemetry view() noexcept {
+    return Telemetry{&metrics, want_trace ? &trace : nullptr};
+  }
+};
+
+// What the --trace / --trace-format / --metrics flags request; carried in
+// exp::ExecutionOptions and honoured by the experiment engine.
+struct TelemetryOptions {
+  std::string trace_path;    // empty = no trace file
+  TraceFormat trace_format = TraceFormat::kJsonl;
+  std::string metrics_path;  // empty = no metrics file
+
+  bool enabled() const noexcept {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+}  // namespace ge::obs

@@ -1,0 +1,214 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace ge::obs {
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+const char* mode_name(int mode) {
+  switch (mode) {
+    case kModeAes: return "AES";
+    case kModeBq: return "BQ";
+    default: return "?";
+  }
+}
+
+// Minimal JSON string escaping; scheduler names and model descriptions are
+// plain ASCII, so quotes and backslashes are the only risk.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceFormat parse_trace_format(const std::string& name) {
+  if (name == "jsonl") {
+    return TraceFormat::kJsonl;
+  }
+  GE_CHECK(name == "chrome", "trace format must be 'jsonl' or 'chrome'");
+  return TraceFormat::kChrome;
+}
+
+TraceWriter::TraceWriter(std::ostream& out, TraceFormat format)
+    : out_(out), format_(format) {
+  if (format_ == TraceFormat::kChrome) {
+    out_ << "[";
+  }
+}
+
+void TraceWriter::append_task(const TraceTaskInfo& info, const TraceBuffer& buffer) {
+  GE_CHECK(!closed_, "append_task after close");
+  if (format_ == TraceFormat::kJsonl) {
+    append_jsonl(info, buffer);
+  } else {
+    append_chrome(info, buffer);
+  }
+}
+
+void TraceWriter::close() {
+  GE_CHECK(!closed_, "trace writer closed twice");
+  closed_ = true;
+  if (format_ == TraceFormat::kChrome) {
+    out_ << "\n]\n";
+  }
+}
+
+void TraceWriter::append_jsonl(const TraceTaskInfo& info, const TraceBuffer& buffer) {
+  const std::string task = std::to_string(info.task);
+  out_ << "{\"ev\": \"meta\", \"task\": " << task << ", \"scheduler\": \""
+       << escape(info.scheduler) << "\", \"arrival_rate\": " << fmt(info.arrival_rate)
+       << ", \"cores\": " << info.cores
+       << ", \"power_budget_w\": " << fmt(info.power_budget)
+       << ", \"power_model\": " << info.power_model_json << "}\n";
+  for (const TraceEvent& ev : buffer.events()) {
+    switch (ev.type) {
+      case TraceEventType::kArrival:
+        out_ << "{\"ev\": \"arrival\", \"task\": " << task << ", \"t\": " << fmt(ev.t)
+             << ", \"job\": " << ev.job << ", \"demand\": " << fmt(ev.a)
+             << ", \"deadline\": " << fmt(ev.b) << "}\n";
+        break;
+      case TraceEventType::kRound:
+        out_ << "{\"ev\": \"round\", \"task\": " << task << ", \"t\": " << fmt(ev.t)
+             << ", \"round\": " << fmt(ev.c) << ", \"mode\": \"" << mode_name(ev.mode)
+             << "\", \"waiting\": " << fmt(ev.a) << ", \"rate\": " << fmt(ev.b)
+             << "}\n";
+        break;
+      case TraceEventType::kModeSwitch:
+        out_ << "{\"ev\": \"mode\", \"task\": " << task << ", \"t\": " << fmt(ev.t)
+             << ", \"mode\": \"" << mode_name(ev.mode)
+             << "\", \"quality\": " << fmt(ev.a) << "}\n";
+        break;
+      case TraceEventType::kCut:
+        out_ << "{\"ev\": \"cut\", \"task\": " << task << ", \"t\": " << fmt(ev.t)
+             << ", \"core\": " << ev.core << ", \"jobs\": " << fmt(ev.a)
+             << ", \"level\": " << fmt(ev.b) << ", \"target_units\": " << fmt(ev.c)
+             << "}\n";
+        break;
+      case TraceEventType::kCap:
+        out_ << "{\"ev\": \"cap\", \"task\": " << task << ", \"t\": " << fmt(ev.t)
+             << ", \"core\": " << ev.core << ", \"watts\": " << fmt(ev.a) << "}\n";
+        break;
+      case TraceEventType::kExec:
+        out_ << "{\"ev\": \"exec\", \"task\": " << task << ", \"t\": " << fmt(ev.t)
+             << ", \"t_end\": " << fmt(ev.t2) << ", \"core\": " << ev.core
+             << ", \"job\": " << ev.job << ", \"speed\": " << fmt(ev.a) << "}\n";
+        break;
+      case TraceEventType::kCompletion:
+      case TraceEventType::kDeadlineMiss:
+        out_ << "{\"ev\": \""
+             << (ev.type == TraceEventType::kCompletion ? "completion"
+                                                        : "deadline_miss")
+             << "\", \"task\": " << task << ", \"t\": " << fmt(ev.t)
+             << ", \"core\": " << ev.core << ", \"job\": " << ev.job
+             << ", \"executed\": " << fmt(ev.a) << ", \"demand\": " << fmt(ev.b)
+             << ", \"quality\": " << fmt(ev.c) << "}\n";
+        break;
+      case TraceEventType::kCoreOffline:
+        out_ << "{\"ev\": \"core_offline\", \"task\": " << task
+             << ", \"t\": " << fmt(ev.t) << ", \"core\": " << ev.core << "}\n";
+        break;
+    }
+  }
+}
+
+void TraceWriter::append_chrome(const TraceTaskInfo& info, const TraceBuffer& buffer) {
+  const std::string pid = std::to_string(info.task);
+  auto record = [this](const std::string& body) {
+    out_ << (first_record_ ? "\n" : ",\n") << body;
+    first_record_ = false;
+  };
+  // Timestamps are microseconds in the trace_event format; the simulation
+  // clock is seconds.
+  auto us = [](double t) { return fmt(t * 1e6); };
+
+  record("{\"ph\": \"M\", \"pid\": " + pid +
+         ", \"name\": \"process_name\", \"args\": {\"name\": \"task " + pid + ": " +
+         escape(info.scheduler) + " @ " + fmt(info.arrival_rate) + " req/s\"}}");
+  record("{\"ph\": \"M\", \"pid\": " + pid +
+         ", \"tid\": 0, \"name\": \"thread_name\", \"args\": {\"name\": "
+         "\"scheduler\"}}");
+  for (std::size_t i = 0; i < info.cores; ++i) {
+    record("{\"ph\": \"M\", \"pid\": " + pid + ", \"tid\": " + std::to_string(i + 1) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"core " +
+           std::to_string(i) + "\"}}");
+  }
+
+  for (const TraceEvent& ev : buffer.events()) {
+    // Events with no core land on the scheduler track (tid 0).
+    const std::string tid = std::to_string(ev.core + 1);
+    switch (ev.type) {
+      case TraceEventType::kArrival:
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": 0, \"ts\": " +
+               us(ev.t) + ", \"s\": \"t\", \"name\": \"arrival\", \"cat\": "
+               "\"job\", \"args\": {\"job\": " + std::to_string(ev.job) +
+               ", \"demand\": " + fmt(ev.a) + "}}");
+        break;
+      case TraceEventType::kRound:
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": 0, \"ts\": " +
+               us(ev.t) + ", \"s\": \"t\", \"name\": \"round " +
+               std::string(mode_name(ev.mode)) + "\", \"cat\": \"sched\", "
+               "\"args\": {\"waiting\": " + fmt(ev.a) + ", \"rate\": " + fmt(ev.b) +
+               "}}");
+        break;
+      case TraceEventType::kModeSwitch:
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": 0, \"ts\": " +
+               us(ev.t) + ", \"s\": \"p\", \"name\": \"mode -> " +
+               std::string(mode_name(ev.mode)) + "\", \"cat\": \"sched\", "
+               "\"args\": {\"quality\": " + fmt(ev.a) + "}}");
+        break;
+      case TraceEventType::kCut:
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": " + tid +
+               ", \"ts\": " + us(ev.t) + ", \"s\": \"t\", \"name\": \"cut\", "
+               "\"cat\": \"sched\", \"args\": {\"jobs\": " + fmt(ev.a) +
+               ", \"level\": " + fmt(ev.b) + "}}");
+        break;
+      case TraceEventType::kCap:
+        record("{\"ph\": \"C\", \"pid\": " + pid + ", \"tid\": 0, \"ts\": " +
+               us(ev.t) + ", \"name\": \"cap core " + std::to_string(ev.core) +
+               "\", \"args\": {\"W\": " + fmt(ev.a) + "}}");
+        break;
+      case TraceEventType::kExec:
+        record("{\"ph\": \"X\", \"pid\": " + pid + ", \"tid\": " + tid +
+               ", \"ts\": " + us(ev.t) + ", \"dur\": " + fmt((ev.t2 - ev.t) * 1e6) +
+               ", \"name\": \"job " + std::to_string(ev.job) +
+               "\", \"cat\": \"exec\", \"args\": {\"speed\": " + fmt(ev.a) + "}}");
+        break;
+      case TraceEventType::kCompletion:
+      case TraceEventType::kDeadlineMiss: {
+        const bool miss = ev.type == TraceEventType::kDeadlineMiss;
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": " + tid +
+               ", \"ts\": " + us(ev.t) + ", \"s\": \"t\", \"name\": \"" +
+               (miss ? "deadline miss" : "completion") + "\", \"cat\": \"job\", "
+               "\"args\": {\"job\": " + std::to_string(ev.job) + ", \"executed\": " +
+               fmt(ev.a) + ", \"demand\": " + fmt(ev.b) + "}}");
+        record("{\"ph\": \"C\", \"pid\": " + pid + ", \"tid\": 0, \"ts\": " +
+               us(ev.t) + ", \"name\": \"quality\", \"args\": {\"q\": " + fmt(ev.c) +
+               "}}");
+        break;
+      }
+      case TraceEventType::kCoreOffline:
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": " + tid +
+               ", \"ts\": " + us(ev.t) + ", \"s\": \"p\", \"name\": \"core " +
+               "offline\", \"cat\": \"fault\", \"args\": {}}");
+        break;
+    }
+  }
+}
+
+}  // namespace ge::obs

@@ -1,0 +1,110 @@
+// Structured simulation tracing.
+//
+// Instrumented components record TraceEvents -- small fixed-size records of
+// what the scheduler and the cores decided at a simulated instant -- into a
+// per-run TraceBuffer (an in-memory vector; the simulator is single-threaded
+// and runs execute in parallel, so events are serialised to disk only after
+// the whole plan finishes, in task order).  Two writers render a buffer:
+//
+//   * JSONL  -- one self-describing JSON object per line, the analysis
+//     format (schema: docs/OBSERVABILITY.md; validated by
+//     tools/check_telemetry.py).
+//   * Chrome trace_event JSON -- loadable in Perfetto / about:tracing; each
+//     run becomes a process, each core a thread, execution slices become
+//     duration events and quality/speed become counter tracks.
+//
+// The numeric payload fields a/b/c are typed per event kind; the per-kind
+// meaning is fixed here and documented field-by-field in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ge::obs {
+
+enum class TraceEventType : std::uint8_t {
+  kArrival,       // job arrived: a=demand (units), b=deadline (s)
+  kRound,         // scheduling round: mode, a=waiting jobs, b=estimated rate
+                  // (req/s), c=round index
+  kModeSwitch,    // AES<->BQ transition: mode = new mode, a=monitored quality
+  kCut,           // per-core AES cut: core, a=open jobs, b=cut level (units),
+                  // c=sum of targets (units)
+  kCap,           // per-core power cap: core, a=cap (W)
+  kExec,          // executed slice: core, job, t..t2, a=speed (units/s)
+  kCompletion,    // job settled at/above target: core, job, a=executed,
+                  // b=demand, c=monitored quality after settlement
+  kDeadlineMiss,  // job settled below target by its deadline: core, job,
+                  // a=executed, b=demand, c=monitored quality
+  kCoreOffline,   // fault injection: core went offline
+};
+
+// Execution mode tags shared by kRound / kModeSwitch (mirrors
+// GoodEnoughScheduler::Mode; -1 = not applicable).
+inline constexpr int kModeAes = 0;
+inline constexpr int kModeBq = 1;
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kArrival;
+  double t = 0.0;   // simulated seconds
+  double t2 = 0.0;  // slice end for kExec, else unused
+  std::int32_t core = -1;
+  std::int64_t job = -1;
+  std::int32_t mode = -1;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+class TraceBuffer {
+ public:
+  void push(const TraceEvent& event) { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+enum class TraceFormat { kJsonl, kChrome };
+
+// Parses "jsonl" / "chrome" (checked error otherwise).
+TraceFormat parse_trace_format(const std::string& name);
+
+// Static description of the run a buffer came from, rendered into the
+// per-task "meta" line (JSONL) / process metadata (Chrome).
+struct TraceTaskInfo {
+  std::size_t task = 0;       // task index within the plan
+  std::string scheduler;      // display name of the scheduler
+  double arrival_rate = 0.0;  // req/s
+  std::size_t cores = 0;
+  double power_budget = 0.0;    // W
+  std::string power_model_json;  // PowerModel::describe_json()
+};
+
+// Streaming trace writer: open(), then append_task() once per task in task
+// order, then close().  Output is deterministic: bytes depend only on the
+// (info, buffer) sequence.
+class TraceWriter {
+ public:
+  TraceWriter(std::ostream& out, TraceFormat format);
+
+  void append_task(const TraceTaskInfo& info, const TraceBuffer& buffer);
+
+  // Terminates the stream (Chrome: closes the JSON array).  Must be called
+  // exactly once, after the last task.
+  void close();
+
+ private:
+  void append_jsonl(const TraceTaskInfo& info, const TraceBuffer& buffer);
+  void append_chrome(const TraceTaskInfo& info, const TraceBuffer& buffer);
+
+  std::ostream& out_;
+  TraceFormat format_;
+  bool first_record_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace ge::obs

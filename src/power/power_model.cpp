@@ -1,6 +1,7 @@
 #include "power/power_model.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.h"
 
@@ -32,6 +33,14 @@ double PowerModel::speed_for_power(double watts) const {
 double PowerModel::energy(double speed_units, double duration) const {
   GE_CHECK(duration >= 0.0, "negative duration");
   return power(speed_units) * duration;
+}
+
+std::string PowerModel::describe_json() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"a\": %.12g, \"beta\": %.12g, \"units_per_ghz\": %.12g}", a_,
+                beta_, units_per_ghz_);
+  return buf;
 }
 
 }  // namespace ge::power

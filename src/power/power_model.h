@@ -11,6 +11,8 @@
 // the paper.
 #pragma once
 
+#include <string>
+
 namespace ge::power {
 
 class PowerModel {
@@ -33,6 +35,11 @@ class PowerModel {
   double a() const noexcept { return a_; }
   double beta() const noexcept { return beta_; }
   double units_per_ghz() const noexcept { return units_per_ghz_; }
+
+  // Compact JSON description of the model parameters, embedded in the trace
+  // meta record so a trace file is self-describing (unit conversions need
+  // units_per_ghz, energy cross-checks need a and beta).
+  std::string describe_json() const;
 
  private:
   double a_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace ge::server {
@@ -26,6 +27,13 @@ void Core::set_offline(double now) {
   seg_credited_ = 0.0;
   power_cap_ = 0.0;
   online_ = false;
+  if (obs::Telemetry* tel = sim_->telemetry(); tel != nullptr && tel->trace) {
+    obs::TraceEvent ev;
+    ev.type = obs::TraceEventType::kCoreOffline;
+    ev.t = now;
+    ev.core = id_;
+    tel->trace->push(ev);
+  }
 }
 
 void Core::install_plan(opt::ExecutionPlan plan, double power_cap) {
@@ -77,6 +85,16 @@ void Core::advance_to(double t) {
       }
       energy_ += pm_->power(seg.speed) * dt;
       speed_stats_.add(seg.speed, dt);
+      if (obs::Telemetry* tel = sim_->telemetry(); tel != nullptr && tel->trace) {
+        obs::TraceEvent ev;
+        ev.type = obs::TraceEventType::kExec;
+        ev.t = from;
+        ev.t2 = to;
+        ev.core = id_;
+        ev.job = static_cast<std::int64_t>(seg.job->id);
+        ev.a = seg.speed;
+        tel->trace->push(ev);
+      }
     }
     if (t < seg.end) {
       break;  // still inside this segment

@@ -15,6 +15,10 @@
 #include "server/core.h"
 #include "sim/simulator.h"
 
+namespace ge::obs {
+class MetricsRegistry;
+}
+
 namespace ge::server {
 
 class MulticoreServer {
@@ -62,6 +66,11 @@ class MulticoreServer {
 
   // Number of cores still online.
   std::size_t online_cores() const;
+
+  // End-of-run telemetry: per-core and total energy / busy / idle time into
+  // `registry` (metric catalog: docs/OBSERVABILITY.md).  `elapsed` is the
+  // run horizon in simulated seconds (idle = elapsed - busy).
+  void export_metrics(obs::MetricsRegistry& registry, double elapsed) const;
 
  private:
   void build_cores(sim::Simulator& sim);

@@ -12,11 +12,28 @@
 
 #include "sim/event_queue.h"
 
+namespace ge::obs {
+struct Telemetry;
+}
+
 namespace ge::sim {
 
 class Simulator {
  public:
   double now() const noexcept { return now_; }
+
+  // Telemetry rides on the simulator because every instrumented component
+  // (cores, schedulers, the runner) already holds a Simulator reference.
+  // Null (the default) means telemetry is off; hooks test the pointer once
+  // at construction or per event.  With GE_NO_TELEMETRY the accessor is a
+  // constexpr nullptr, so the compiler deletes the hooks outright.
+#ifdef GE_NO_TELEMETRY
+  static constexpr obs::Telemetry* telemetry() noexcept { return nullptr; }
+  void set_telemetry(obs::Telemetry*) noexcept {}
+#else
+  obs::Telemetry* telemetry() const noexcept { return telemetry_; }
+  void set_telemetry(obs::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+#endif
 
   // Schedules `action` at absolute virtual time `time` (>= now).
   EventId schedule_at(double time, std::function<void()> action);
@@ -46,6 +63,9 @@ class Simulator {
   double now_ = 0.0;
   EventQueue queue_;
   std::uint64_t executed_ = 0;
+#ifndef GE_NO_TELEMETRY
+  obs::Telemetry* telemetry_ = nullptr;
+#endif
 };
 
 }  // namespace ge::sim

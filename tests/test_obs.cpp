@@ -1,0 +1,404 @@
+// Tests for the telemetry subsystem (src/obs): metric semantics, the
+// deterministic merge the experiment engine relies on, the documented trace
+// serialisation formats, and the end-to-end contract that telemetry files
+// are byte-identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/experiment_engine.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "workload/trace.h"
+
+namespace ge::obs {
+namespace {
+
+TEST(Counter, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.increment();
+  c.add(2.5);
+  EXPECT_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, SetTracksWritten) {
+  Gauge g;
+  EXPECT_FALSE(g.written());
+  g.set(4.0);
+  g.set(-1.0);
+  EXPECT_TRUE(g.written());
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketPlacementAndStats) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0, 5.0});
+  // Bucket i counts values <= bounds[i]; last bucket is overflow.
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.observe(1.5);   // bucket 1
+  h.observe(10.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 13.0);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 10.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("jobs", "jobs");
+  Counter& b = reg.counter("jobs", "jobs");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+  reg.gauge("q", "ratio", Gauge::Merge::kMin);
+  reg.histogram("lat", {1, 2}, "ms");
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchDies) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_DEATH((void)reg.gauge("x"), "registered");
+}
+
+TEST(MetricsRegistry, UnitMismatchDies) {
+  MetricsRegistry reg;
+  reg.counter("x", "J");
+  EXPECT_DEATH((void)reg.counter("x", "W"), "unit");
+}
+
+TEST(MetricsRegistry, HistogramBoundsMismatchDies) {
+  MetricsRegistry reg;
+  reg.histogram("h", {1, 2});
+  EXPECT_DEATH((void)reg.histogram("h", {1, 3}), "bounds");
+}
+
+std::string to_json(const MetricsRegistry& reg) {
+  std::ostringstream out;
+  reg.write_json(out);
+  return out.str();
+}
+
+TEST(MetricsRegistry, MergeCombinesPerKind) {
+  MetricsRegistry a;
+  a.counter("n").add(2);
+  a.gauge("worst", "", Gauge::Merge::kMin).set(0.9);
+  a.gauge("best", "", Gauge::Merge::kMax).set(0.9);
+  a.gauge("last", "", Gauge::Merge::kLast).set(1.0);
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+
+  MetricsRegistry b;
+  b.counter("n").add(3);
+  b.gauge("worst", "", Gauge::Merge::kMin).set(0.4);
+  b.gauge("best", "", Gauge::Merge::kMax).set(0.4);
+  b.gauge("last", "", Gauge::Merge::kLast).set(2.0);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+  b.counter("only_in_b").add(7);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("n").value(), 5.0);
+  EXPECT_EQ(a.gauge("worst", "", Gauge::Merge::kMin).value(), 0.4);
+  EXPECT_EQ(a.gauge("best", "", Gauge::Merge::kMax).value(), 0.9);
+  EXPECT_EQ(a.gauge("last", "", Gauge::Merge::kLast).value(), 2.0);
+  EXPECT_EQ(a.histogram("h", {1.0, 2.0}).count(), 2u);
+  EXPECT_EQ(a.histogram("h", {1.0, 2.0}).sum(), 2.0);
+  // Metrics absent from the destination are appended in source order.
+  EXPECT_EQ(a.counter("only_in_b").value(), 7.0);
+}
+
+TEST(MetricsRegistry, MergeSkipsUnwrittenGauges) {
+  MetricsRegistry a;
+  a.gauge("worst", "", Gauge::Merge::kMin).set(0.9);
+  MetricsRegistry b;
+  (void)b.gauge("worst", "", Gauge::Merge::kMin);  // created, never set
+  a.merge(b);
+  EXPECT_EQ(a.gauge("worst", "", Gauge::Merge::kMin).value(), 0.9);
+}
+
+TEST(MetricsRegistry, MergeIsDeterministic) {
+  // Merging equal registries in the same order must yield equal bytes --
+  // the property the engine's parallel path relies on.
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("jobs", "jobs").add(17);
+    reg.gauge("q", "ratio", Gauge::Merge::kMin).set(0.875);
+    reg.histogram("lat", {10.0, 100.0}, "ms").observe(42.5);
+    return reg;
+  };
+  MetricsRegistry m1;
+  MetricsRegistry m2;
+  for (int i = 0; i < 3; ++i) {
+    m1.merge(build());
+    m2.merge(build());
+  }
+  EXPECT_EQ(to_json(m1), to_json(m2));
+}
+
+TEST(MetricsRegistry, JsonMatchesDocumentedSchema) {
+  MetricsRegistry reg;
+  reg.counter("jobs.settled", "jobs").add(3);
+  reg.gauge("quality.monitored", "ratio", Gauge::Merge::kMin).set(0.5);
+  reg.histogram("lat", {1.0}, "ms").observe(0.5);
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"schema\": \"goodenough-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"jobs.settled\", \"type\": \"counter\", "
+                      "\"unit\": \"jobs\", \"value\": 3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"merge\": \"min\""), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 1, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"inf\", \"count\": 0}"), std::string::npos);
+}
+
+TEST(TraceFormat, Parse) {
+  EXPECT_EQ(parse_trace_format("jsonl"), TraceFormat::kJsonl);
+  EXPECT_EQ(parse_trace_format("chrome"), TraceFormat::kChrome);
+  EXPECT_DEATH((void)parse_trace_format("xml"), "trace format");
+}
+
+// A hand-built miniature of a 3-job run; the golden strings below pin the
+// documented JSONL schema (docs/OBSERVABILITY.md) byte for byte.
+TraceBuffer tiny_buffer() {
+  TraceBuffer buf;
+  TraceEvent ev;
+  ev.type = TraceEventType::kArrival;
+  ev.t = 0.25;
+  ev.job = 1;
+  ev.a = 150.0;   // demand
+  ev.b = 0.4;     // deadline
+  buf.push(ev);
+  ev = TraceEvent{};
+  ev.type = TraceEventType::kRound;
+  ev.t = 0.25;
+  ev.mode = kModeAes;
+  ev.a = 1;      // waiting
+  ev.b = 4.0;    // rate
+  ev.c = 1;      // round index
+  buf.push(ev);
+  ev = TraceEvent{};
+  ev.type = TraceEventType::kExec;
+  ev.t = 0.25;
+  ev.t2 = 0.35;
+  ev.core = 0;
+  ev.job = 1;
+  ev.a = 1500.0;  // speed
+  buf.push(ev);
+  ev = TraceEvent{};
+  ev.type = TraceEventType::kCompletion;
+  ev.t = 0.35;
+  ev.core = 0;
+  ev.job = 1;
+  ev.a = 150.0;  // executed
+  ev.b = 150.0;  // demand
+  ev.c = 1.0;    // monitored quality
+  buf.push(ev);
+  return buf;
+}
+
+TraceTaskInfo tiny_info() {
+  TraceTaskInfo info;
+  info.task = 0;
+  info.scheduler = "GE";
+  info.arrival_rate = 4.0;
+  info.cores = 1;
+  info.power_budget = 20.0;
+  info.power_model_json = "{\"a\": 5, \"beta\": 2, \"units_per_ghz\": 1000}";
+  return info;
+}
+
+TEST(TraceWriter, JsonlGolden) {
+  std::ostringstream out;
+  TraceWriter writer(out, TraceFormat::kJsonl);
+  writer.append_task(tiny_info(), tiny_buffer());
+  writer.close();
+  const std::string expected =
+      "{\"ev\": \"meta\", \"task\": 0, \"scheduler\": \"GE\", "
+      "\"arrival_rate\": 4, \"cores\": 1, \"power_budget_w\": 20, "
+      "\"power_model\": {\"a\": 5, \"beta\": 2, \"units_per_ghz\": 1000}}\n"
+      "{\"ev\": \"arrival\", \"task\": 0, \"t\": 0.25, \"job\": 1, "
+      "\"demand\": 150, \"deadline\": 0.4}\n"
+      "{\"ev\": \"round\", \"task\": 0, \"t\": 0.25, \"round\": 1, "
+      "\"mode\": \"AES\", \"waiting\": 1, \"rate\": 4}\n"
+      "{\"ev\": \"exec\", \"task\": 0, \"t\": 0.25, \"t_end\": 0.35, "
+      "\"core\": 0, \"job\": 1, \"speed\": 1500}\n"
+      "{\"ev\": \"completion\", \"task\": 0, \"t\": 0.35, \"core\": 0, "
+      "\"job\": 1, \"executed\": 150, \"demand\": 150, \"quality\": 1}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(TraceWriter, ChromeIsStructurallyValidJson) {
+  std::ostringstream out;
+  TraceWriter writer(out, TraceFormat::kChrome);
+  writer.append_task(tiny_info(), tiny_buffer());
+  writer.close();
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.substr(text.size() - 2), "]\n");
+  // Balanced braces and no trailing comma before the closing bracket: the
+  // usual ways a hand-rolled JSON array writer goes wrong.
+  int depth = 0;
+  for (char ch : text) {
+    depth += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(text.find(",\n]"), std::string::npos);
+  // 2 metadata records + 1 thread name per core + 4 events (completion emits
+  // an extra quality counter sample).
+  std::size_t records = 0;
+  for (std::size_t pos = 0; (pos = text.find("\"ph\"", pos)) != std::string::npos;
+       ++pos) {
+    ++records;
+  }
+  EXPECT_EQ(records, 2u + 1u + 5u);
+}
+
+}  // namespace
+}  // namespace ge::obs
+
+namespace ge::exp {
+namespace {
+
+// A deterministic 3-job workload on a small server: every telemetry channel
+// fires at least once and the numbers are easy to check by hand.
+workload::Trace three_job_trace() {
+  std::vector<workload::Job> jobs(3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = i + 1;
+    jobs[i].arrival = 0.1 * static_cast<double>(i + 1);
+    jobs[i].deadline = jobs[i].arrival + 0.15;
+    jobs[i].demand = 150.0;
+  }
+  return workload::Trace(std::move(jobs));
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.cores = 2;
+  cfg.power_budget = 40.0;
+  cfg.arrival_rate = 10.0;
+  cfg.duration = 0.5;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(RunnerTelemetry, ThreeJobScenarioRecordsEveryChannel) {
+  obs::RunTelemetry telemetry;
+  const RunResult result = run_simulation(tiny_config(), SchedulerSpec::parse("GE"),
+                                          three_job_trace(), nullptr, &telemetry);
+  EXPECT_EQ(result.released, 3u);
+
+  EXPECT_EQ(telemetry.metrics.counter("jobs.settled", "jobs").value(), 3.0);
+  EXPECT_EQ(telemetry.metrics.counter("jobs.released", "jobs").value(), 3.0);
+  EXPECT_GE(telemetry.metrics.counter("ge.rounds", "rounds").value(), 1.0);
+  EXPECT_GT(telemetry.metrics.counter("energy.total_j", "J").value(), 0.0);
+  EXPECT_EQ(telemetry.metrics.histogram(
+                "run.quality",
+                {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, "ratio")
+                .count(),
+            1u);
+
+  // Trace: 3 arrivals and one settlement per job.  Instantaneous events are
+  // recorded in simulation order; exec slices are retrospective (pushed when
+  // the core advances past them, stamped with the slice start), so they are
+  // only required to be well-formed, not buffer-order monotone.
+  std::size_t arrivals = 0;
+  std::size_t settlements = 0;
+  std::size_t execs = 0;
+  double last_t = 0.0;
+  for (const obs::TraceEvent& ev : telemetry.trace.events()) {
+    if (ev.type == obs::TraceEventType::kExec) {
+      EXPECT_GE(ev.t2, ev.t);
+      ++execs;
+      continue;
+    }
+    EXPECT_GE(ev.t, last_t);
+    last_t = ev.t;
+    arrivals += ev.type == obs::TraceEventType::kArrival ? 1 : 0;
+    settlements += (ev.type == obs::TraceEventType::kCompletion ||
+                    ev.type == obs::TraceEventType::kDeadlineMiss)
+                       ? 1
+                       : 0;
+  }
+  EXPECT_EQ(arrivals, 3u);
+  EXPECT_EQ(settlements, 3u);
+  EXPECT_GE(execs, 3u);
+}
+
+TEST(RunnerTelemetry, MetricsOnlySkipsTraceRecording) {
+  obs::RunTelemetry telemetry;
+  telemetry.want_trace = false;
+  (void)run_simulation(tiny_config(), SchedulerSpec::parse("GE"),
+                       three_job_trace(), nullptr, &telemetry);
+  EXPECT_EQ(telemetry.trace.size(), 0u);
+  EXPECT_GT(telemetry.metrics.size(), 0u);
+}
+
+TEST(RunnerTelemetry, NullTelemetryMatchesInstrumentedRun) {
+  // The hooks must observe, never perturb: results with telemetry on are
+  // bit-identical to results with it off.
+  obs::RunTelemetry telemetry;
+  const RunResult with = run_simulation(tiny_config(), SchedulerSpec::parse("GE"),
+                                        three_job_trace(), nullptr, &telemetry);
+  const RunResult without = run_simulation(
+      tiny_config(), SchedulerSpec::parse("GE"), three_job_trace(), nullptr, nullptr);
+  EXPECT_EQ(with.quality, without.quality);
+  EXPECT_EQ(with.energy, without.energy);
+  EXPECT_EQ(with.p99_response_ms, without.p99_response_ms);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(EngineTelemetry, FilesAreByteIdenticalForAnyWorkerCount) {
+  ExperimentPlan plan;
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.duration = 1.0;
+  cfg.seed = 42;
+  for (std::size_t p = 0; p < 2; ++p) {
+    cfg.arrival_rate = p == 0 ? 110.0 : 170.0;
+    for (const char* name : {"GE", "BE"}) {
+      plan.add(cfg, SchedulerSpec::parse(name), p);
+    }
+  }
+
+  const std::string dir = ::testing::TempDir();
+  auto run_with = [&](std::size_t jobs, const std::string& tag) {
+    ExecutionOptions exec;
+    exec.jobs = jobs;
+    exec.telemetry.metrics_path = dir + "/m" + tag + ".json";
+    exec.telemetry.trace_path = dir + "/t" + tag + ".jsonl";
+    (void)run_plan(plan, exec);
+  };
+  run_with(1, "1");
+  run_with(4, "4");
+  EXPECT_EQ(slurp(dir + "/m1.json"), slurp(dir + "/m4.json"));
+  EXPECT_EQ(slurp(dir + "/t1.jsonl"), slurp(dir + "/t4.jsonl"));
+  std::remove((dir + "/m1.json").c_str());
+  std::remove((dir + "/m4.json").c_str());
+  std::remove((dir + "/t1.jsonl").c_str());
+  std::remove((dir + "/t4.jsonl").c_str());
+}
+
+}  // namespace
+}  // namespace ge::exp

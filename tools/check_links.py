@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links: every [text](target) pointing at a local
+file must resolve from the linking file's directory.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+External links (http/https/mailto) and pure in-page anchors (#...) are
+skipped; a #fragment on a local target is stripped before the existence
+check.  Exits non-zero listing every broken link.
+"""
+import os
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path):
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            for target in LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                local = target.split("#", 1)[0]
+                if not local:
+                    continue
+                if not os.path.exists(os.path.join(base, local)):
+                    broken.append(f"{path}:{lineno}: broken link -> {target}")
+    return broken
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    for path in sys.argv[1:]:
+        broken.extend(check_file(path))
+    for msg in broken:
+        print(msg, file=sys.stderr)
+    if broken:
+        print(f"check_links: {len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"check_links: OK ({len(sys.argv) - 1} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

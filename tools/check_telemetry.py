@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validates telemetry output files against the documented schema.
+
+Usage:
+  check_telemetry.py [--trace FILE] [--chrome FILE] [--metrics FILE]
+
+--trace    JSONL trace (docs/OBSERVABILITY.md, "Trace schema"): every line
+           must be a JSON object whose fields match its "ev" kind exactly.
+--chrome   Chrome trace_event JSON: must parse as one array of objects each
+           carrying the required "ph"/"pid" keys.
+--metrics  Metrics JSON ("goodenough-metrics-v1"): every metric entry must
+           carry the fields of its type.
+
+Exits non-zero with a line-numbered message on the first violation; CI runs
+this after the telemetry smoke run so schema drift fails the build.
+"""
+import argparse
+import json
+import sys
+
+# Required fields per JSONL event kind (beyond "ev" itself).  "number" means
+# int or float; bool is excluded on purpose (json.dumps(True) is not a
+# measurement).
+EVENT_FIELDS = {
+    "meta": {"task": int, "scheduler": str, "arrival_rate": (int, float),
+             "cores": int, "power_budget_w": (int, float), "power_model": dict},
+    "arrival": {"task": int, "t": (int, float), "job": int,
+                "demand": (int, float), "deadline": (int, float)},
+    "round": {"task": int, "t": (int, float), "round": (int, float),
+              "mode": str, "waiting": (int, float), "rate": (int, float)},
+    "mode": {"task": int, "t": (int, float), "mode": str,
+             "quality": (int, float)},
+    "cut": {"task": int, "t": (int, float), "core": int,
+            "jobs": (int, float), "level": (int, float),
+            "target_units": (int, float)},
+    "cap": {"task": int, "t": (int, float), "core": int,
+            "watts": (int, float)},
+    "exec": {"task": int, "t": (int, float), "t_end": (int, float),
+             "core": int, "job": int, "speed": (int, float)},
+    "completion": {"task": int, "t": (int, float), "core": int, "job": int,
+                   "executed": (int, float), "demand": (int, float),
+                   "quality": (int, float)},
+    "deadline_miss": {"task": int, "t": (int, float), "core": int, "job": int,
+                      "executed": (int, float), "demand": (int, float),
+                      "quality": (int, float)},
+    "core_offline": {"task": int, "t": (int, float), "core": int},
+}
+
+METRIC_FIELDS = {
+    "counter": {"value"},
+    "gauge": {"value", "merge"},
+    "histogram": {"count", "sum", "min", "max", "buckets"},
+}
+
+
+def fail(msg):
+    print(f"check_telemetry: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, fields, where):
+    for name, types in fields.items():
+        if name not in obj:
+            fail(f"{where}: missing field {name!r}")
+        value = obj[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            fail(f"{where}: field {name!r} has type {type(value).__name__}")
+    extra = set(obj) - set(fields) - {"ev"}
+    if extra:
+        fail(f"{where}: unexpected fields {sorted(extra)}")
+
+
+def check_trace(path):
+    tasks_seen = set()
+    events = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            where = f"{path}:{lineno}"
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"{where}: not valid JSON ({err})")
+            if not isinstance(obj, dict):
+                fail(f"{where}: line is not a JSON object")
+            kind = obj.get("ev")
+            if kind not in EVENT_FIELDS:
+                fail(f"{where}: unknown event kind {kind!r}")
+            check_fields(obj, EVENT_FIELDS[kind], where)
+            if kind == "meta":
+                tasks_seen.add(obj["task"])
+            elif obj["task"] not in tasks_seen:
+                fail(f"{where}: event for task {obj['task']} before its meta line")
+            events += 1
+    if not tasks_seen:
+        fail(f"{path}: no meta lines (empty trace?)")
+    print(f"{path}: OK ({events} lines, {len(tasks_seen)} tasks)")
+
+
+def check_chrome(path):
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON ({err})")
+    if not isinstance(data, list) or not data:
+        fail(f"{path}: expected a non-empty JSON array of trace events")
+    for i, ev in enumerate(data):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("ph", "pid", "name"):
+            if key not in ev:
+                fail(f"{where}: missing {key!r}")
+        if ev["ph"] in ("X", "i", "C") and "ts" not in ev:
+            fail(f"{where}: {ev['ph']!r} event without 'ts'")
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail(f"{where}: duration event without 'dur'")
+    print(f"{path}: OK ({len(data)} events)")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON ({err})")
+    if data.get("schema") != "goodenough-metrics-v1":
+        fail(f"{path}: schema is {data.get('schema')!r}, "
+             "expected 'goodenough-metrics-v1'")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail(f"{path}: 'metrics' must be a non-empty array")
+    names = set()
+    for m in metrics:
+        where = f"{path}: metric {m.get('name')!r}"
+        for key in ("name", "type", "unit"):
+            if key not in m:
+                fail(f"{where}: missing {key!r}")
+        if m["name"] in names:
+            fail(f"{where}: duplicate name")
+        names.add(m["name"])
+        kind = m["type"]
+        if kind not in METRIC_FIELDS:
+            fail(f"{where}: unknown type {kind!r}")
+        missing = METRIC_FIELDS[kind] - set(m)
+        if missing:
+            fail(f"{where}: missing fields {sorted(missing)}")
+        if kind == "histogram":
+            buckets = m["buckets"]
+            if not buckets or buckets[-1]["le"] != "inf":
+                fail(f"{where}: last bucket must be the 'inf' overflow bucket")
+            if sum(b["count"] for b in buckets) != m["count"]:
+                fail(f"{where}: bucket counts do not sum to 'count'")
+    print(f"{path}: OK ({len(metrics)} metrics)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace")
+    parser.add_argument("--chrome")
+    parser.add_argument("--metrics")
+    args = parser.parse_args()
+    if not (args.trace or args.chrome or args.metrics):
+        parser.error("nothing to check: pass --trace, --chrome or --metrics")
+    if args.trace:
+        check_trace(args.trace)
+    if args.chrome:
+        check_chrome(args.chrome)
+    if args.metrics:
+        check_metrics(args.metrics)
+
+
+if __name__ == "__main__":
+    main()

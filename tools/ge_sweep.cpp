@@ -7,7 +7,10 @@
 //
 //   ge_sweep --schedulers GE,BE,FCFS --rates 100,150,200 --seconds 30
 //            [--metric quality|energy|p99|aes|power] [--csv | --json]
-//            [--jobs N] [any ExperimentConfig flag, see exp/flags_config.h]
+//            [--jobs N] [--trace F [--trace-format jsonl|chrome]]
+//            [--metrics F] [any ExperimentConfig flag, see exp/flags_config.h]
+//
+// Full flag reference: docs/CLI.md; telemetry schema: docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -73,6 +76,10 @@ int main(int argc, char** argv) {
   exp::ExecutionOptions exec;
   exec.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   exec.progress = flags.get_bool("progress", isatty(STDERR_FILENO) != 0);
+  exec.telemetry.trace_path = flags.get_string("trace", "");
+  exec.telemetry.trace_format =
+      obs::parse_trace_format(flags.get_string("trace-format", "jsonl"));
+  exec.telemetry.metrics_path = flags.get_string("metrics", "");
   const auto points = exp::sweep_arrival_rates(base, specs, rates, exec);
 
   if (flags.get_bool("json", false)) {
