@@ -1,11 +1,19 @@
 // End-to-end simulator throughput (google-benchmark): how many simulated
 // seconds / scheduled jobs per wall-clock second the stack sustains for the
 // main schedulers.
+//
+// Emitting the machine-readable trajectory (see docs/BENCHMARKS.md):
+//
+//   bench_simulation --benchmark_repetitions=5 \
+//     --benchmark_report_aggregates_only=true \
+//     --benchmark_format=json --benchmark_out=BENCH_simulation.json
 #include <benchmark/benchmark.h>
 
 #include "exp/config.h"
+#include "exp/experiment_engine.h"
 #include "exp/runner.h"
 #include "exp/scheduler_spec.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -49,10 +57,53 @@ void BM_SimulateGE_Discrete(benchmark::State& state) {
   }
 }
 
+// Telemetry hooks armed (metrics + trace buffer): the overhead the
+// observability layer adds to a heavy GE run.
+void BM_SimulateGE_Telemetry(benchmark::State& state) {
+  const ge::exp::ExperimentConfig cfg = bench_config(220.0);
+  const ge::workload::Trace trace =
+      ge::workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  for (auto _ : state) {
+    ge::obs::RunTelemetry telemetry;
+    benchmark::DoNotOptimize(ge::exp::run_simulation(
+        cfg, ge::exp::SchedulerSpec::parse("GE"), trace, nullptr, &telemetry));
+  }
+  state.counters["sim_seconds_per_iter"] = cfg.duration;
+}
+
+// Fig. 3-style comparison: GE/BE/FCFS across three load points through the
+// experiment engine, the shape every figure binary runs.
+void BM_SimulateFig03Sweep(benchmark::State& state) {
+  const double rates[] = {100.0, 180.0, 220.0};
+  const char* schedulers[] = {"GE", "BE", "FCFS"};
+  ge::exp::ExperimentPlan plan;
+  std::size_t point = 0;
+  for (double rate : rates) {
+    ge::exp::ExperimentConfig cfg = bench_config(rate);
+    cfg.duration = 2.0;
+    for (const char* name : schedulers) {
+      plan.add(cfg, ge::exp::SchedulerSpec::parse(name), point);
+    }
+    ++point;
+  }
+  const ge::exp::ExperimentEngine engine(ge::exp::ExecutionOptions{1, false, {}});
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const std::vector<ge::exp::RunResult> results = engine.run(plan);
+    for (const ge::exp::RunResult& r : results) {
+      jobs += r.released;
+    }
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+}
+
 BENCHMARK(BM_SimulateGE_Light)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateBE_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateFCFS_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Discrete)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateGE_Telemetry)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateFig03Sweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -18,22 +18,15 @@ constexpr double kWorkEps = 1e-6;
 // Deadlines closer than this are treated as already passed for planning.
 constexpr double kTimeEps = 1e-9;
 
-// Open jobs on the core in EDF order (stable: ties by arrival id).
-std::vector<workload::Job*> edf_queue(server::Core& core) {
-  std::vector<workload::Job*> jobs;
-  jobs.reserve(core.queue().size());
-  for (workload::Job* job : core.queue()) {
-    if (!job->settled) {
-      jobs.push_back(job);
-    }
+// EDF order: (deadline, arrival id) is a total order, so any subset of jobs
+// has exactly one sorted arrangement -- which is why a single sort per round
+// (refresh_edf_cache) can replace the per-call sorts without changing any
+// downstream sequence.
+bool edf_before(const workload::Job* a, const workload::Job* b) {
+  if (a->deadline != b->deadline) {
+    return a->deadline < b->deadline;
   }
-  std::sort(jobs.begin(), jobs.end(), [](const workload::Job* a, const workload::Job* b) {
-    if (a->deadline != b->deadline) {
-      return a->deadline < b->deadline;
-    }
-    return a->id < b->id;
-  });
-  return jobs;
+  return a->id < b->id;
 }
 
 }  // namespace
@@ -158,8 +151,31 @@ GoodEnoughScheduler::Mode GoodEnoughScheduler::choose_mode() const {
   return Mode::kAes;
 }
 
+void GoodEnoughScheduler::refresh_edf_cache() {
+  const std::size_t m = env_.server->core_count();
+  edf_cache_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<workload::Job*>& jobs = edf_cache_[i];
+    jobs.clear();
+    server::Core& core = env_.server->core(i);
+    if (!core.online()) {
+      continue;  // offline cores are never planned; stranded jobs settle later
+    }
+    for (workload::Job* job : core.queue()) {
+      if (!job->settled) {
+        jobs.push_back(job);
+      }
+    }
+    std::sort(jobs.begin(), jobs.end(), edf_before);
+  }
+}
+
 void GoodEnoughScheduler::set_targets(server::Core& core, Mode mode) {
-  std::vector<workload::Job*> jobs = edf_queue(core);
+  // The cache was rebuilt after the round's settlement sweep and nothing
+  // settles between then and target-setting, so it is exactly the fresh EDF
+  // queue here.
+  const std::vector<workload::Job*>& jobs =
+      edf_cache_[static_cast<std::size_t>(core.id())];
   if (jobs.empty()) {
     return;
   }
@@ -172,12 +188,13 @@ void GoodEnoughScheduler::set_targets(server::Core& core, Mode mode) {
   // AES: Longest-First cutting against the original demands (a running job
   // is re-cut as if new, Sec. III-B); a target can never drop below what is
   // already executed.
-  std::vector<double> demands(jobs.size());
+  cut_demands_.resize(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    demands[i] = jobs[i]->demand;
+    cut_demands_[i] = jobs[i]->demand;
   }
-  const opt::CutResult cut =
-      opt::cut_longest_first(demands, *env_.quality_function, options_.cut_target);
+  opt::cut_longest_first(cut_demands_, *env_.quality_function, options_.cut_target,
+                         cut_scratch_);
+  const opt::CutResult& cut = cut_scratch_.result;
   double target_units = 0.0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     jobs[i]->target = std::max(cut.targets[i], std::min(jobs[i]->executed, jobs[i]->demand));
@@ -198,10 +215,12 @@ void GoodEnoughScheduler::set_targets(server::Core& core, Mode mode) {
   }
 }
 
-double GoodEnoughScheduler::core_power_demand(server::Core& core) const {
+double GoodEnoughScheduler::core_power_demand(server::Core& core) {
   const double t = env_.sim->now();
-  std::vector<opt::PlanJob> plan_jobs;
-  for (workload::Job* job : core.queue()) {
+  // The cache is already EDF-sorted; filtering it preserves sortedness, so
+  // the per-call sort the old code needed is gone.
+  plan_jobs_.clear();
+  for (workload::Job* job : edf_cache_[static_cast<std::size_t>(core.id())]) {
     if (job->settled || job->deadline <= t + kTimeEps) {
       continue;
     }
@@ -209,20 +228,13 @@ double GoodEnoughScheduler::core_power_demand(server::Core& core) const {
     if (rem <= kWorkEps) {
       continue;
     }
-    plan_jobs.push_back(opt::PlanJob{job, rem, job->deadline});
+    plan_jobs_.push_back(opt::PlanJob{job, rem, job->deadline});
   }
-  std::sort(plan_jobs.begin(), plan_jobs.end(),
-            [](const opt::PlanJob& a, const opt::PlanJob& b) {
-              if (a.deadline != b.deadline) {
-                return a.deadline < b.deadline;
-              }
-              return a.job->id < b.job->id;
-            });
-  const double speed = opt::required_speed(t, plan_jobs);
+  const double speed = opt::required_speed(t, plan_jobs_);
   return core.power_model().power(speed);
 }
 
-std::vector<double> GoodEnoughScheduler::distribute_power() {
+void GoodEnoughScheduler::distribute_power() {
   const double budget = env_.server->power_budget();
   const std::size_t m = env_.server->core_count();
   const std::size_t alive = env_.server->online_cores();
@@ -234,77 +246,80 @@ std::vector<double> GoodEnoughScheduler::distribute_power() {
       m_rounds_es_->increment();
     }
     // Equal share over the *online* cores; offline cores draw nothing.
-    std::vector<double> caps(m, 0.0);
+    caps_.assign(m, 0.0);
     if (alive > 0) {
       const double share = budget / static_cast<double>(alive);
       for (std::size_t i = 0; i < m; ++i) {
-        caps[i] = env_.server->core(i).online() ? share : 0.0;
+        caps_[i] = env_.server->core(i).online() ? share : 0.0;
       }
     }
-    return caps;
+    return;
   }
   ++wf_rounds_;
   if (m_rounds_wf_ != nullptr) {
     m_rounds_wf_->increment();
   }
-  std::vector<double> demands(m);
+  demand_watts_.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
-    demands[i] = env_.server->core(i).online()
-                     ? core_power_demand(env_.server->core(i))
-                     : 0.0;
+    demand_watts_[i] = env_.server->core(i).online()
+                           ? core_power_demand(env_.server->core(i))
+                           : 0.0;
   }
-  return power::water_filling(budget, demands);
+  power::water_filling(budget, demand_watts_, caps_);
 }
 
 void GoodEnoughScheduler::plan_core(server::Core& core, double cap_watts,
                                     double* budget_slack) {
   const double t = now();
   const power::PowerModel& pm = core.power_model();
-  std::vector<opt::PlanJob> plan_jobs;
-  std::vector<workload::Job*> jobs = edf_queue(core);
-  for (workload::Job* job : jobs) {
-    if (job->deadline <= t + kTimeEps) {
+  // Jobs settled since the cache was built (target-completion sweep) carry
+  // the settled flag; skipping them here yields the same filtered EDF
+  // sequence the old fresh-sort produced.
+  plan_jobs_.clear();
+  for (workload::Job* job : edf_cache_[static_cast<std::size_t>(core.id())]) {
+    if (job->settled || job->deadline <= t + kTimeEps) {
       continue;  // expired jobs were settled during cleanup
     }
     const double rem = job->remaining_target();
     if (rem <= kWorkEps) {
       continue;
     }
-    plan_jobs.push_back(opt::PlanJob{job, rem, job->deadline});
+    plan_jobs_.push_back(opt::PlanJob{job, rem, job->deadline});
   }
   const double s_cap = std::min(pm.speed_for_power(cap_watts), options_.core_speed_cap);
-  if (plan_jobs.empty() || s_cap <= 0.0) {
+  if (plan_jobs_.empty() || s_cap <= 0.0) {
     core.install_plan(opt::ExecutionPlan{}, cap_watts);
     return;
   }
   if (m_plans_ != nullptr) {
     m_plans_->increment();
   }
-  const double required = opt::required_speed(t, plan_jobs);
+  const double required = opt::required_speed(t, plan_jobs_);
   if (required > s_cap * (1.0 + 1e-9)) {
     // Quality-OPT second cut (Sec. III-E): the cap cannot meet the targets;
     // trim them to maximise achievable quality under the cap.
     if (m_qopt_trims_ != nullptr) {
       m_qopt_trims_->increment();
     }
-    std::vector<opt::AllocJob> alloc_jobs(plan_jobs.size());
-    for (std::size_t i = 0; i < plan_jobs.size(); ++i) {
-      alloc_jobs[i] = opt::AllocJob{plan_jobs[i].job->executed, plan_jobs[i].remaining,
-                                    plan_jobs[i].deadline};
+    alloc_jobs_.resize(plan_jobs_.size());
+    for (std::size_t i = 0; i < plan_jobs_.size(); ++i) {
+      alloc_jobs_[i] = opt::AllocJob{plan_jobs_[i].job->executed,
+                                     plan_jobs_[i].remaining, plan_jobs_[i].deadline};
     }
     const std::vector<double> extra =
-        opt::maximize_quality(t, alloc_jobs, s_cap, *env_.quality_function);
-    std::vector<opt::PlanJob> trimmed;
-    trimmed.reserve(plan_jobs.size());
-    for (std::size_t i = 0; i < plan_jobs.size(); ++i) {
-      plan_jobs[i].job->target = plan_jobs[i].job->executed + extra[i];
+        opt::maximize_quality(t, alloc_jobs_, s_cap, *env_.quality_function);
+    trimmed_.clear();
+    trimmed_.reserve(plan_jobs_.size());
+    for (std::size_t i = 0; i < plan_jobs_.size(); ++i) {
+      plan_jobs_[i].job->target = plan_jobs_[i].job->executed + extra[i];
       if (extra[i] > kWorkEps) {
-        trimmed.push_back(opt::PlanJob{plan_jobs[i].job, extra[i], plan_jobs[i].deadline});
+        trimmed_.push_back(
+            opt::PlanJob{plan_jobs_[i].job, extra[i], plan_jobs_[i].deadline});
       }
     }
-    plan_jobs = std::move(trimmed);
+    plan_jobs_.swap(trimmed_);
   }
-  opt::ExecutionPlan plan = opt::plan_min_energy(t, plan_jobs, s_cap);
+  opt::ExecutionPlan plan = opt::plan_min_energy(t, plan_jobs_, s_cap);
   double cap_final = cap_watts;
   if (options_.speed_table != nullptr && !plan.empty()) {
     // Discrete DVFS rectification (Sec. IV-A-5): round up when the budget
@@ -373,6 +388,9 @@ void GoodEnoughScheduler::schedule_round() {
     }
   }
 
+  // One EDF sort per core per round; steps 4-6 consume the cached order.
+  refresh_edf_cache();
+
   // 4. Execution mode (compensation policy) and per-core cut targets.
   // Offline cores are skipped: their stranded jobs settle at deadline.
   const Mode previous_mode = mode_;
@@ -417,39 +435,40 @@ void GoodEnoughScheduler::schedule_round() {
   }
 
   // 5. Power caps.
-  std::vector<double> caps = distribute_power();
-  env_.server->check_caps(caps);
+  distribute_power();
+  env_.server->check_caps(caps_);
   if (trace() != nullptr) {
-    for (std::size_t i = 0; i < caps.size(); ++i) {
+    for (std::size_t i = 0; i < caps_.size(); ++i) {
       obs::TraceEvent ev;
       ev.type = obs::TraceEventType::kCap;
       ev.t = t;
       ev.core = static_cast<std::int32_t>(i);
-      ev.a = caps[i];
+      ev.a = caps_[i];
       trace()->push(ev);
     }
   }
 
   // 6. Per-core planning.  With a discrete ladder the paper rectifies
   // lowest-assigned-power cores first; keep index order otherwise.
-  std::vector<std::size_t> order(m);
+  order_.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
-    order[i] = i;
+    order_[i] = i;
   }
   double slack = env_.server->power_budget();
-  for (double cap : caps) {
+  for (double cap : caps_) {
     slack -= cap;
   }
   if (slack < 0.0) {
     slack = 0.0;
   }
   if (options_.speed_table != nullptr) {
-    std::stable_sort(order.begin(), order.end(),
-                     [&caps](std::size_t a, std::size_t b) { return caps[a] < caps[b]; });
+    std::stable_sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
+      return caps_[a] < caps_[b];
+    });
   }
-  for (std::size_t idx : order) {
+  for (std::size_t idx : order_) {
     if (env_.server->core(idx).online()) {
-      plan_core(env_.server->core(idx), caps[idx], &slack);
+      plan_core(env_.server->core(idx), caps_[idx], &slack);
     }
   }
   in_round_ = false;

@@ -32,6 +32,9 @@
 #include "core/assignment.h"
 #include "core/load_estimator.h"
 #include "core/scheduler.h"
+#include "opt/energy_opt.h"
+#include "opt/job_cutter.h"
+#include "opt/quality_opt.h"
 #include "power/discrete_speed.h"
 #include "power/distribution.h"
 
@@ -97,11 +100,19 @@ class GoodEnoughScheduler : public Scheduler {
   void schedule_round();
   void account_mode_time();
   Mode choose_mode() const;
+  // Rebuilds the per-core EDF queues (open jobs in (deadline, id) order)
+  // into edf_cache_.  Called once per round after expired jobs settle;
+  // set_targets, core_power_demand and plan_core all consume the cached
+  // order instead of re-sorting the queue (jobs settled mid-round stay in
+  // the cache and are skipped by their `settled` flag, which preserves the
+  // exact filtered sequence a fresh sort would produce).
+  void refresh_edf_cache();
   // Sets job->target for every open job on the core according to the mode.
   void set_targets(server::Core& core, Mode mode);
   // Per-core power demand (W) to finish its remaining targets by deadline.
-  double core_power_demand(server::Core& core) const;
-  std::vector<double> distribute_power();
+  double core_power_demand(server::Core& core);
+  // Splits the power budget into per-core caps, written to caps_.
+  void distribute_power();
   void plan_core(server::Core& core, double cap_watts, double* budget_slack);
   void arm_quantum();
 
@@ -120,6 +131,19 @@ class GoodEnoughScheduler : public Scheduler {
   std::uint64_t es_rounds_ = 0;
   bool in_round_ = false;
   sim::EventId quantum_event_ = sim::kInvalidEventId;
+
+  // Round-scoped scratch buffers, reused across rounds so the per-round
+  // replanning allocates nothing in steady state (hot-path optimisation;
+  // bit-identical outputs are guarded by tests/test_kernel_equivalence.cpp).
+  std::vector<std::vector<workload::Job*>> edf_cache_;  // per-core EDF order
+  std::vector<opt::PlanJob> plan_jobs_;
+  std::vector<opt::AllocJob> alloc_jobs_;
+  std::vector<opt::PlanJob> trimmed_;
+  std::vector<double> cut_demands_;
+  std::vector<double> demand_watts_;
+  std::vector<double> caps_;
+  std::vector<std::size_t> order_;
+  opt::CutScratch cut_scratch_;
 
   // Cached telemetry handles (null when metrics are off); catalog in
   // docs/OBSERVABILITY.md.

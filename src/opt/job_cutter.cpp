@@ -25,16 +25,20 @@ double batch_quality(std::span<const double> targets, std::span<const double> de
   return potential > 0.0 ? achieved / potential : 1.0;
 }
 
-CutResult cut_longest_first(std::span<const double> demands,
-                            const quality::QualityFunction& f, double q_target) {
-  CutResult result;
+void cut_longest_first(std::span<const double> demands,
+                       const quality::QualityFunction& f, double q_target,
+                       CutScratch& scratch) {
+  CutResult& result = scratch.result;
   result.targets.assign(demands.begin(), demands.end());
+  result.level = 0.0;
+  result.quality = 1.0;
+  result.iterations = 0;
+  result.uncut = false;
   const std::size_t n = demands.size();
   if (n == 0 || q_target >= 1.0 - kQualityTol) {
     result.uncut = true;
     result.level = n == 0 ? 0.0 : *std::max_element(demands.begin(), demands.end());
-    result.quality = 1.0;
-    return result;
+    return;
   }
   q_target = std::max(q_target, 0.0);
   for (double p : demands) {
@@ -42,7 +46,8 @@ CutResult cut_longest_first(std::span<const double> demands,
   }
 
   // Distinct demand levels, descending; the LF loop walks down this ladder.
-  std::vector<double> levels(demands.begin(), demands.end());
+  std::vector<double>& levels = scratch.levels;
+  levels.assign(demands.begin(), demands.end());
   std::sort(levels.begin(), levels.end(), std::greater<>());
   levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
 
@@ -51,20 +56,41 @@ CutResult cut_longest_first(std::span<const double> demands,
     potential += f.value(p);
   }
 
-  // Walk: after iteration i, every job with p_j > levels[i+1] is cut to
-  // levels[i+1] (the new level); count how many jobs sit at/above each rung.
-  // Sorted demands ascending for prefix bookkeeping.
-  std::vector<double> sorted(demands.begin(), demands.end());
+  // Sorted demands ascending with running prefix sums of f: prefix[k] is the
+  // left-to-right sum of f over the k smallest demands, which is exactly the
+  // partial sum a per-job evaluation loop would produce.  Each quality probe
+  // below then costs one f evaluation plus cheap additions instead of n
+  // evaluations -- the memoisation that makes the LF walk O(n log n + k)
+  // in f-calls instead of O(n k).
+  std::vector<double>& sorted = scratch.sorted;
+  sorted.assign(demands.begin(), demands.end());
   std::sort(sorted.begin(), sorted.end());
+  std::vector<double>& prefix = scratch.prefix;
+  prefix.resize(n + 1);
+  prefix[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + f.value(sorted[i]);
+  }
 
+  // Batch quality with every demand clamped to `level`.  Replays the exact
+  // summation sequence of the naive ascending loop (prefix part, then the
+  // clamped jobs one addition at a time) so results stay bit-identical to
+  // the pre-memoisation implementation.
   auto quality_at_level = [&](double level) {
-    double achieved = 0.0;
-    for (double p : sorted) {
-      achieved += f.value(std::min(p, level));
+    const std::size_t k = static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), level) - sorted.begin());
+    double achieved = prefix[k];
+    if (k < n) {
+      const double f_level = f.value(level);
+      for (std::size_t i = k; i < n; ++i) {
+        achieved += f_level;
+      }
     }
     return achieved / potential;
   };
 
+  // Walk: after iteration i, every job with p_j > levels[i+1] is cut to
+  // levels[i+1] (the new level).
   double level = levels.front();  // current common height of the cut jobs
   double quality = 1.0;
   int iterations = 0;
@@ -91,15 +117,11 @@ CutResult cut_longest_first(std::span<const double> demands,
     // Paper step 5: the cut jobs (p_j > level) all receive the same quality
     //   f(c) = (Q_GE * (F_U + F_C) - F_U) / |C|
     // where U = uncut jobs (p_j <= level) and C = cut jobs.
-    double f_uncut = 0.0;
-    std::size_t cut_count = 0;
-    for (double p : sorted) {
-      if (p <= level + kQualityTol) {
-        f_uncut += f.value(p);
-      } else {
-        ++cut_count;
-      }
-    }
+    const std::size_t k = static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), level + kQualityTol) -
+        sorted.begin());
+    const double f_uncut = prefix[k];
+    const std::size_t cut_count = n - k;
     GE_CHECK(cut_count > 0, "overshoot without cut jobs");
     const double desired =
         (q_target * potential - f_uncut) / static_cast<double>(cut_count);
@@ -113,7 +135,13 @@ CutResult cut_longest_first(std::span<const double> demands,
     result.targets[i] = std::min(demands[i], level);
   }
   result.quality = batch_quality(result.targets, demands, f);
-  return result;
+}
+
+CutResult cut_longest_first(std::span<const double> demands,
+                            const quality::QualityFunction& f, double q_target) {
+  CutScratch scratch;
+  cut_longest_first(demands, f, q_target, scratch);
+  return std::move(scratch.result);
 }
 
 double cut_level_for_quality(std::span<const double> demands,
@@ -128,16 +156,21 @@ double cut_level_for_quality(std::span<const double> demands,
   if (q_target <= 0.0) {
     return 0.0;
   }
-  double potential = 0.0;
-  for (double p : demands) {
-    potential += f.value(p);
+  // Ascending demands with prefix sums of f, so every bisection probe costs
+  // one f evaluation instead of n (this solver is a test cross-check, not a
+  // simulation path, so the summation-order change is benign).
+  std::vector<double> sorted(demands.begin(), demands.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + f.value(sorted[i]);
   }
+  const double potential = prefix[n];
   auto quality_at = [&](double level) {
-    double achieved = 0.0;
-    for (double p : demands) {
-      achieved += f.value(std::min(p, level));
-    }
-    return achieved / potential;
+    const std::size_t k = static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), level) - sorted.begin());
+    return (prefix[k] + static_cast<double>(n - k) * f.value(level)) / potential;
   };
   double lo = 0.0;
   double hi = max_demand;

@@ -37,10 +37,28 @@ struct CutResult {
   bool uncut = false;
 };
 
+// Reusable working memory for cut_longest_first.  A scheduler calls the
+// cutter once per core per round; routing those calls through one CutScratch
+// replaces four vector allocations per call with amortised-free reuse.  The
+// result of the last call lives in `result`.
+struct CutScratch {
+  CutResult result;
+  // Internal buffers (distinct demand levels, ascending demands, prefix
+  // sums of f over the ascending demands); exposed only for reuse.
+  std::vector<double> levels;
+  std::vector<double> sorted;
+  std::vector<double> prefix;
+};
+
 // Runs the paper's Longest-First cutting loop.  `demands` are the original
 // processing demands p_j (all positive); q_target is Q_GE in [0, 1].
 CutResult cut_longest_first(std::span<const double> demands,
                             const quality::QualityFunction& f, double q_target);
+
+// Allocation-free variant: identical outputs, delivered in scratch.result.
+void cut_longest_first(std::span<const double> demands,
+                       const quality::QualityFunction& f, double q_target,
+                       CutScratch& scratch);
 
 // Bisection on the demand level: smallest L with batch quality >= q_target.
 // Mathematically equivalent to cut_longest_first (used to cross-check it).

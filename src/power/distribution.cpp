@@ -45,12 +45,18 @@ double water_level(double budget, std::span<const double> demands) {
 }
 
 std::vector<double> water_filling(double budget, std::span<const double> demands) {
+  std::vector<double> caps;
+  water_filling(budget, demands, caps);
+  return caps;
+}
+
+void water_filling(double budget, std::span<const double> demands,
+                   std::vector<double>& caps) {
   const double level = water_level(budget, demands);
-  std::vector<double> caps(demands.size());
+  caps.resize(demands.size());
   for (std::size_t i = 0; i < demands.size(); ++i) {
     caps[i] = std::min(demands[i], level);
   }
-  return caps;
 }
 
 const char* to_string(DistributionPolicy policy) noexcept {

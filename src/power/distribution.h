@@ -30,6 +30,11 @@ std::vector<double> equal_sharing(double budget, std::size_t cores);
 // useful to do with power no core asked for).
 std::vector<double> water_filling(double budget, std::span<const double> demands);
 
+// In-place variant for per-round callers: writes the caps into `caps`
+// (resized to demands.size()), reusing its capacity across rounds.
+void water_filling(double budget, std::span<const double> demands,
+                   std::vector<double>& caps);
+
 // The water level L used by water_filling when the budget binds; returns
 // +infinity when sum(demands) <= budget (no level binds).
 double water_level(double budget, std::span<const double> demands);

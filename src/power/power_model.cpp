@@ -8,7 +8,7 @@
 namespace ge::power {
 
 PowerModel::PowerModel(double a, double beta, double units_per_ghz)
-    : a_(a), beta_(beta), units_per_ghz_(units_per_ghz) {
+    : a_(a), beta_(beta), units_per_ghz_(units_per_ghz), beta_is_two_(beta == 2.0) {
   GE_CHECK(a > 0.0, "power scale factor a must be positive");
   GE_CHECK(beta > 1.0, "power exponent beta must exceed 1 (convexity)");
   GE_CHECK(units_per_ghz > 0.0, "units_per_ghz must be positive");
@@ -19,7 +19,11 @@ double PowerModel::power(double speed_units) const {
   if (speed_units <= 0.0) {
     return 0.0;
   }
-  return a_ * std::pow(speed_units / units_per_ghz_, beta_);
+  const double ghz = speed_units / units_per_ghz_;
+  if (beta_is_two_) {
+    return a_ * (ghz * ghz);
+  }
+  return a_ * std::pow(ghz, beta_);
 }
 
 double PowerModel::speed_for_power(double watts) const {

@@ -45,6 +45,11 @@ class PowerModel {
   double a_;
   double beta_;
   double units_per_ghz_;
+  // beta == 2.0 exactly (the paper's curve): power() squares with one
+  // multiply instead of std::pow.  glibc's pow is correctly rounded for
+  // y = 2, so both paths return bit-identical doubles -- guarded by the
+  // exhaustive sweep in tests/test_kernel_equivalence.cpp.
+  bool beta_is_two_;
 };
 
 }  // namespace ge::power

@@ -90,7 +90,11 @@ double LinearQuality::derivative(double x) const {
 double LinearQuality::inverse(double q) const { return clamp01(q) * xmax_; }
 
 PowerLawQuality::PowerLawQuality(double gamma, double xmax)
-    : gamma_(gamma), xmax_(xmax) {
+    : gamma_(gamma),
+      xmax_(xmax),
+      inv_gamma_(1.0 / gamma),
+      gamma_minus_one_(gamma - 1.0),
+      slope_scale_(gamma / xmax) {
   GE_CHECK(gamma > 0.0 && gamma < 1.0, "power-law exponent must be in (0,1)");
   GE_CHECK(xmax > 0.0, "xmax must be positive");
 }
@@ -107,11 +111,11 @@ double PowerLawQuality::derivative(double x) const {
     // prefers giving the first unit of work to an untouched job.
     return 1e18;
   }
-  return gamma_ / xmax_ * std::pow(x / xmax_, gamma_ - 1.0);
+  return slope_scale_ * std::pow(x / xmax_, gamma_minus_one_);
 }
 
 double PowerLawQuality::inverse(double q) const {
-  return std::pow(clamp01(q), 1.0 / gamma_) * xmax_;
+  return std::pow(clamp01(q), inv_gamma_) * xmax_;
 }
 
 std::string PowerLawQuality::name() const {

@@ -94,6 +94,13 @@ class PowerLawQuality final : public QualityFunction {
  private:
   double gamma_;
   double xmax_;
+  // gamma is fixed per run, so the derived exponents and scale factors are
+  // hoisted to construction: the same expressions the per-call code used to
+  // evaluate, computed once (bit-identical results, fewer divisions on the
+  // pow-heavy paths).
+  double inv_gamma_;        // 1 / gamma
+  double gamma_minus_one_;  // gamma - 1 (derivative exponent)
+  double slope_scale_;      // gamma / xmax (derivative prefactor)
 };
 
 std::unique_ptr<QualityFunction> make_paper_quality_function(double c = 0.003,

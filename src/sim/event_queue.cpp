@@ -11,14 +11,22 @@ EventId EventQueue::push(double time, std::function<void()> action) {
   const EventId id = next_id_++;
   heap_.push_back(HeapEntry{time, id, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(id);
+  state_.push_back(State::kLive);
+  ++live_count_;
   return id;
 }
 
-bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+bool EventQueue::cancel(EventId id) {
+  if (id < 1 || id >= next_id_ || state_[id - 1] != State::kLive) {
+    return false;
+  }
+  state_[id - 1] = State::kCancelled;
+  --live_count_;
+  return true;
+}
 
 void EventQueue::skim() const {
-  while (!heap_.empty() && !live_.contains(heap_.front().id)) {
+  while (!heap_.empty() && state_[heap_.front().id - 1] != State::kLive) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -41,7 +49,8 @@ Event EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Event ev{heap_.back().time, heap_.back().id, std::move(heap_.back().action)};
   heap_.pop_back();
-  live_.erase(ev.id);
+  state_[ev.id - 1] = State::kDone;
+  --live_count_;
   return ev;
 }
 

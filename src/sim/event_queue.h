@@ -4,13 +4,18 @@
 // makes event ordering deterministic when several events share a timestamp:
 // ties break in scheduling order, which is what makes simulation runs
 // bit-reproducible for a fixed seed.  Cancellation is lazy: a cancelled id is
-// removed from the live-id set and its heap entry is dropped when it surfaces
+// marked in the state table and its heap entry is dropped when it surfaces
 // at the top of the heap.
+//
+// Because ids are handed out sequentially, liveness is tracked in a flat
+// byte-per-id state table instead of a hash set: push/cancel/pop cost one
+// indexed byte access and the per-event hash-node allocations of the former
+// std::unordered_set are pooled away into a single growing vector (one byte
+// per event ever scheduled, reclaimed when the queue dies with its run).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 namespace ge::sim {
@@ -34,10 +39,12 @@ class EventQueue {
   // unknown, already executed, or already cancelled.
   bool cancel(EventId id);
 
-  bool is_pending(EventId id) const { return live_.contains(id); }
+  bool is_pending(EventId id) const {
+    return id >= 1 && id < next_id_ && state_[id - 1] == State::kLive;
+  }
 
   bool empty() const;
-  std::size_t size() const noexcept { return live_.size(); }  // live events
+  std::size_t size() const noexcept { return live_count_; }  // live events
 
   // Time of the earliest live event; requires !empty().
   double next_time() const;
@@ -46,6 +53,8 @@ class EventQueue {
   Event pop();
 
  private:
+  enum class State : std::uint8_t { kLive, kCancelled, kDone };
+
   struct HeapEntry {
     double time;
     EventId id;
@@ -64,7 +73,8 @@ class EventQueue {
   void skim() const;
 
   mutable std::vector<HeapEntry> heap_;
-  std::unordered_set<EventId> live_;
+  std::vector<State> state_;  // state_[id - 1]; one byte per id ever issued
+  std::size_t live_count_ = 0;
   EventId next_id_ = 1;
 };
 

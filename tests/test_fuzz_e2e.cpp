@@ -1,0 +1,164 @@
+// Seeded end-to-end fuzzing of the full simulation stack.
+//
+// 200 random small configurations (scheduler, cores, budget, rate, DVFS
+// mode, quality family, burstiness) are each run through run_simulation
+// under three pairings that the architecture promises are equivalent:
+//
+//  * telemetry on vs off -- the observability layer is read-only, so
+//    attaching a RunTelemetry (with or without trace recording) must not
+//    perturb a single bit of the results (docs/OBSERVABILITY.md);
+//  * ExperimentEngine --jobs 1 vs --jobs 4 -- parallel execution is
+//    indexed by task order and must be byte-identical to serial
+//    (docs/DETERMINISM.md);
+//
+// plus sanity invariants on every result: finite metrics, non-negative
+// energy, quality in [0, 1], and outcome counts that add up.  Seeds are
+// fixed, so any failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/experiment_engine.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "obs/telemetry.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace ge::exp {
+namespace {
+
+constexpr int kFuzzCases = 200;
+
+const char* const kSchedulers[] = {"GE",   "BE",  "OQ",        "FCFS", "FDFS",
+                                   "SJF",  "LJF", "GE-NoComp", "GE-WF", "GE-ES"};
+
+struct FuzzCase {
+  ExperimentConfig cfg;
+  SchedulerSpec spec;
+};
+
+FuzzCase make_fuzz_case(std::uint64_t seed) {
+  util::Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.seed = seed;
+  cfg.duration = 0.3 + rng.uniform(0.0, 1.0);
+  cfg.cores = 1 + rng.uniform_index(8);
+  cfg.power_budget = rng.uniform(20.0, 300.0);
+  cfg.arrival_rate = rng.uniform(10.0, 240.0);
+  cfg.q_ge = rng.uniform(0.5, 0.99);
+  cfg.quantum = rng.uniform(0.05, 0.6);
+  cfg.counter_threshold = 1 + static_cast<int>(rng.uniform_index(10));
+  cfg.critical_load = rng.uniform(50.0, 250.0);
+  cfg.discrete_speeds = rng.uniform_index(3) == 0;
+  cfg.monitor_window = rng.uniform_index(4) == 0 ? 200 : 0;
+  if (rng.uniform_index(3) == 0) {
+    cfg.deadline_interval_max = 0.4;
+  }
+  if (rng.uniform_index(4) == 0) {
+    cfg.burst_peak_to_mean = rng.uniform(1.5, 3.0);
+  }
+  switch (rng.uniform_index(3)) {
+    case 0:
+      cfg.quality_family = QualityFamily::kExponential;
+      cfg.quality_c = rng.uniform(0.001, 0.008);
+      break;
+    case 1:
+      cfg.quality_family = QualityFamily::kLinear;
+      break;
+    default:
+      cfg.quality_family = QualityFamily::kPowerLaw;
+      cfg.quality_c = rng.uniform(0.3, 0.9);  // gamma for the power-law family
+      break;
+  }
+  const char* sched = kSchedulers[rng.uniform_index(std::size(kSchedulers))];
+  return FuzzCase{cfg, SchedulerSpec::parse(sched)};
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.static_energy, b.static_energy);
+  EXPECT_EQ(a.avg_power, b.avg_power);
+  EXPECT_EQ(a.mean_response_ms, b.mean_response_ms);
+  EXPECT_EQ(a.p50_response_ms, b.p50_response_ms);
+  EXPECT_EQ(a.p95_response_ms, b.p95_response_ms);
+  EXPECT_EQ(a.p99_response_ms, b.p99_response_ms);
+  EXPECT_EQ(a.aes_fraction, b.aes_fraction);
+  EXPECT_EQ(a.avg_speed_ghz, b.avg_speed_ghz);
+  EXPECT_EQ(a.speed_variance, b.speed_variance);
+  EXPECT_EQ(a.released, b.released);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.partial, b.partial);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.wf_rounds, b.wf_rounds);
+  EXPECT_EQ(a.es_rounds, b.es_rounds);
+  EXPECT_EQ(a.busy_fraction, b.busy_fraction);
+  EXPECT_EQ(a.energy_cov, b.energy_cov);
+}
+
+void expect_sane(const RunResult& r, const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_TRUE(std::isfinite(r.quality));
+  EXPECT_TRUE(std::isfinite(r.energy));
+  EXPECT_TRUE(std::isfinite(r.mean_response_ms));
+  EXPECT_TRUE(std::isfinite(r.avg_speed_ghz));
+  EXPECT_GE(r.energy, 0.0) << "energy can never be negative";
+  EXPECT_GE(r.quality, 0.0);
+  EXPECT_LE(r.quality, 1.0 + 1e-9);
+  EXPECT_GE(r.aes_fraction, 0.0);
+  EXPECT_LE(r.aes_fraction, 1.0 + 1e-9);
+  EXPECT_GE(r.avg_speed_ghz, 0.0);
+  EXPECT_EQ(r.completed + r.partial + r.dropped, r.released)
+      << "every released job must be accounted for exactly once";
+}
+
+TEST(FuzzEndToEnd, TelemetryOnOffBitIdenticalAcross200Configs) {
+  for (std::uint64_t seed = 1; seed <= kFuzzCases; ++seed) {
+    const FuzzCase fc = make_fuzz_case(seed);
+    const workload::Trace trace =
+        workload::Trace::generate(fc.cfg.workload_spec(), fc.cfg.duration);
+    const RunResult plain = run_simulation(fc.cfg, fc.spec, trace);
+
+    obs::RunTelemetry telemetry;
+    telemetry.want_trace = seed % 2 == 0;  // alternate metrics-only / full
+    const RunResult instrumented =
+        run_simulation(fc.cfg, fc.spec, trace, nullptr, &telemetry);
+
+    const std::string what = "seed=" + std::to_string(seed) + " sched=" +
+                             plain.scheduler + " rate=" +
+                             std::to_string(fc.cfg.arrival_rate);
+    expect_sane(plain, what);
+    expect_identical(plain, instrumented, what);
+  }
+}
+
+TEST(FuzzEndToEnd, EngineParallelismBitIdenticalAcross200Configs) {
+  ExperimentPlan plan;
+  for (std::uint64_t seed = 1; seed <= kFuzzCases; ++seed) {
+    const FuzzCase fc = make_fuzz_case(seed);
+    plan.add_isolated(fc.cfg, fc.spec);
+  }
+  const std::vector<RunResult> serial =
+      run_plan(plan, ExecutionOptions{1, false, {}});
+  const std::vector<RunResult> parallel =
+      run_plan(plan, ExecutionOptions{4, false, {}});
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), static_cast<std::size_t>(kFuzzCases));
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const std::string what =
+        "task " + std::to_string(i) + " sched=" + serial[i].scheduler;
+    expect_sane(serial[i], what);
+    expect_identical(serial[i], parallel[i], what);
+  }
+}
+
+}  // namespace
+}  // namespace ge::exp

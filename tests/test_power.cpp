@@ -101,6 +101,32 @@ TEST(DiscreteSpeedTable, DeduplicatesAndSorts) {
   EXPECT_DOUBLE_EQ(table.levels()[2], 300.0);
 }
 
+// A one-level ladder is the degenerate-but-legal DVFS configuration (a core
+// that can only be on at one speed): ceil, floor and is_level must all
+// collapse onto that single operating point.
+TEST(DiscreteSpeedTable, SingleLevelLadder) {
+  const DiscreteSpeedTable table({1500.0});
+  EXPECT_EQ(table.levels().size(), 1u);
+  EXPECT_DOUBLE_EQ(table.min_level(), 1500.0);
+  EXPECT_DOUBLE_EQ(table.max_level(), 1500.0);
+  // ceil: everything at or below the level snaps up to it; above it the
+  // ladder tops out at the level.
+  EXPECT_DOUBLE_EQ(table.ceil(0.0), 1500.0);
+  EXPECT_DOUBLE_EQ(table.ceil(900.0), 1500.0);
+  EXPECT_DOUBLE_EQ(table.ceil(1500.0), 1500.0);
+  EXPECT_DOUBLE_EQ(table.ceil(9999.0), 1500.0);
+  // floor: at or above the level returns it; below has nothing to run at.
+  EXPECT_DOUBLE_EQ(table.floor(1500.0), 1500.0);
+  EXPECT_DOUBLE_EQ(table.floor(2000.0), 1500.0);
+  EXPECT_LE(table.floor(900.0), 0.0);
+  EXPECT_TRUE(table.is_level(1500.0));
+  EXPECT_FALSE(table.is_level(1400.0));
+}
+
+TEST(DiscreteSpeedTable, EmptyLadderRefused) {
+  EXPECT_DEATH(DiscreteSpeedTable({}), "level");
+}
+
 TEST(EqualSharing, SplitsEvenly) {
   const auto caps = equal_sharing(320.0, 16);
   ASSERT_EQ(caps.size(), 16u);

@@ -4,10 +4,20 @@
 // and scheduler.  This is the fuzzing layer over the full stack.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <memory>
+#include <random>
+
+#include "core/plan_rectifier.h"
+#include "core/queue_policy.h"
 #include "exp/config.h"
 #include "exp/runner.h"
 #include "exp/scheduler_spec.h"
 #include "exp/timeline.h"
+#include "opt/energy_opt.h"
+#include "opt/job_cutter.h"
+#include "power/discrete_speed.h"
+#include "quality/quality_monitor.h"
 #include "util/rng.h"
 
 namespace ge::exp {
@@ -144,6 +154,188 @@ TEST_P(CrossSchedulerProperties, BeDominatesQualityGeDominatesEnergy) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossSchedulerProperties,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Component-level properties: plan_rectifier, job_cutter, queue_policy.
+// ---------------------------------------------------------------------------
+
+// Random continuous plans pushed through rectify_plan must land on the
+// ladder without violating any plan invariant: ladder-level speeds only,
+// sequential non-overlapping segments, units consistent with speed*duration,
+// every segment within its job's deadline, and never more work than the
+// continuous plan carried (rounding down can only lose work, Fig. 12a).
+TEST(PlanRectifierProperties, RectifiedPlansKeepCapacityAndDeadlines) {
+  const power::DiscreteSpeedTable table =
+      power::DiscreteSpeedTable::uniform_ghz(0.2, 2.0);
+  std::mt19937_64 rng(501);
+  std::uniform_real_distribution<double> work_dist(20.0, 1500.0);
+  std::uniform_real_distribution<double> slack_dist(0.05, 1.0);
+  std::uniform_int_distribution<int> n_dist(1, 10);
+  std::uniform_real_distribution<double> limit_dist(300.0, 2500.0);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = n_dist(rng);
+    std::vector<workload::Job> storage(static_cast<std::size_t>(n));
+    std::vector<opt::PlanJob> jobs(static_cast<std::size_t>(n));
+    double d = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      d += slack_dist(rng);
+      storage[k].id = k + 1;
+      storage[k].deadline = d;
+      storage[k].demand = storage[k].target = work_dist(rng);
+      jobs[k] = opt::PlanJob{&storage[k], storage[k].demand, d};
+    }
+    const opt::ExecutionPlan plan =
+        opt::plan_min_energy(0.0, jobs, std::numeric_limits<double>::infinity());
+    // Alternate between an unconstrained ceil and a binding limit.
+    const double limit = trial % 2 == 0
+                             ? std::numeric_limits<double>::infinity()
+                             : limit_dist(rng);
+    const opt::ExecutionPlan out = sched::rectify_plan(plan, table, limit);
+
+    double t = plan.start();
+    for (const opt::PlanSegment& seg : out.segments) {
+      EXPECT_TRUE(table.is_level(seg.speed))
+          << "trial " << trial << " speed " << seg.speed;
+      EXPECT_LE(seg.speed, limit + 1e-6);
+      EXPECT_GE(seg.start, t - 1e-9) << "segments must be sequential";
+      EXPECT_GT(seg.end, seg.start);
+      EXPECT_LE(seg.end, seg.job->deadline + 1e-9);
+      EXPECT_NEAR(seg.units, seg.speed * (seg.end - seg.start), 1e-6);
+      t = seg.end;
+    }
+    EXPECT_LE(out.total_units(), plan.total_units() + 1e-6)
+        << "rectification must not create work";
+    if (!out.empty()) {
+      out.validate(0.0);
+    }
+  }
+}
+
+// The LF cut level and every per-job target are monotone non-decreasing in
+// Q_GE, and the achieved batch quality meets the target.
+TEST(JobCutterProperties, CutLevelsMonotoneInQualityTarget) {
+  const quality::ExponentialQuality expq(0.003, 1000.0);
+  const quality::PowerLawQuality plq(0.6, 1000.0);
+  const quality::QualityFunction* fams[] = {&expq, &plq};
+  std::mt19937_64 rng(502);
+  std::uniform_real_distribution<double> demand(1.0, 1300.0);
+  std::uniform_int_distribution<int> n_dist(1, 25);
+
+  for (int trial = 0; trial < 150; ++trial) {
+    const int n = n_dist(rng);
+    std::vector<double> demands(static_cast<std::size_t>(n));
+    for (double& p : demands) {
+      p = demand(rng);
+    }
+    for (const quality::QualityFunction* f : fams) {
+      double prev_level = -1.0;
+      std::vector<double> prev_targets;
+      for (double q = 0.1; q <= 1.0 + 1e-12; q += 0.1) {
+        const opt::CutResult cut = opt::cut_longest_first(demands, *f, q);
+        EXPECT_GE(cut.quality, q - 1e-6)
+            << "achieved quality must meet the target (q=" << q << ")";
+        EXPECT_GE(cut.level, prev_level - 1e-9)
+            << "cut level must grow with Q_GE (q=" << q << ")";
+        if (!prev_targets.empty()) {
+          for (int i = 0; i < n; ++i) {
+            const auto k = static_cast<std::size_t>(i);
+            EXPECT_GE(cut.targets[k], prev_targets[k] - 1e-9)
+                << "target " << i << " shrank when Q_GE rose to " << q;
+          }
+        }
+        prev_level = cut.level;
+        prev_targets = cut.targets;
+      }
+    }
+  }
+}
+
+// Queue-policy tie stability: pick() uses strict comparisons, so among jobs
+// with equal keys the first-queued job must win.  Each policy gets an
+// instance where its key ties across all jobs; an unstable pick would
+// dispatch a later job first and starve the earlier ones (observable as
+// executed == 0 on jobs that should have run).
+struct QueuePolicyHarness {
+  sim::Simulator sim;
+  power::PowerModel pm{5.0, 2.0, 1000.0};
+  server::MulticoreServer server;
+  quality::ExponentialQuality f{0.003, 1000.0};
+  quality::QualityMonitor monitor{f};
+  std::unique_ptr<sched::QueuePolicyScheduler> scheduler;
+  std::vector<std::unique_ptr<workload::Job>> jobs;
+
+  explicit QueuePolicyHarness(sched::QueuePolicyOptions options)
+      : server(1, 20.0, pm, sim) {
+    sched::SchedulerEnv env{&sim, &server, &f, &monitor};
+    scheduler = std::make_unique<sched::QueuePolicyScheduler>(env, options);
+    server.core(0).set_job_finished_callback(
+        [this](workload::Job* j) { scheduler->on_job_finished(j); });
+    server.core(0).set_idle_callback(
+        [this](int id) { scheduler->on_core_idle(id); });
+    scheduler->start();
+  }
+
+  workload::Job* add_job(double arrival, double deadline, double demand) {
+    auto job = std::make_unique<workload::Job>();
+    job->id = jobs.size() + 1;
+    job->arrival = arrival;
+    job->deadline = deadline;
+    job->demand = demand;
+    job->target = demand;
+    workload::Job* ptr = job.get();
+    jobs.push_back(std::move(job));
+    sim.schedule_at(arrival, [this, ptr] { scheduler->on_job_arrival(ptr); });
+    sim.schedule_at(ptr->deadline, [this, ptr] { scheduler->on_deadline(ptr); });
+    return ptr;
+  }
+};
+
+TEST(QueuePolicyProperties, TiedKeysDispatchInArrivalOrder) {
+  // Equal demands, staggered deadlines: SJF, LJF and FCFS all tie on their
+  // keys (demand / demand / arrival), so dispatch must follow queue order
+  // and every job gets its slice before its own deadline.
+  for (sched::QueueOrder order : {sched::QueueOrder::kFcfs, sched::QueueOrder::kSjf,
+                                  sched::QueueOrder::kLjf}) {
+    QueuePolicyHarness h(sched::QueuePolicyOptions{order, nullptr});
+    constexpr int kJobs = 5;
+    std::vector<workload::Job*> js;
+    for (int i = 0; i < kJobs; ++i) {
+      js.push_back(h.add_job(0.0, 0.5 * (i + 1), 100.0));
+    }
+    h.sim.run_until(10.0);
+    h.scheduler->finish();
+    double prev_finish = -1.0;
+    for (int i = 0; i < kJobs; ++i) {
+      SCOPED_TRACE(std::string(sched::to_string(order)) + " job " +
+                   std::to_string(i));
+      EXPECT_GT(js[static_cast<std::size_t>(i)]->executed, 0.0)
+          << "stable pick must serve every tied job in order";
+      EXPECT_GT(js[static_cast<std::size_t>(i)]->finish_time, prev_finish)
+          << "finish order must match arrival order";
+      prev_finish = js[static_cast<std::size_t>(i)]->finish_time;
+    }
+  }
+}
+
+TEST(QueuePolicyProperties, TiedDeadlinesServeFirstArrival) {
+  // FDFS with identical deadlines: only one job can run (the rest expire
+  // together), and stability demands it be the first queued.
+  QueuePolicyHarness h(
+      sched::QueuePolicyOptions{sched::QueueOrder::kFdfs, nullptr});
+  std::vector<workload::Job*> js;
+  for (int i = 0; i < 4; ++i) {
+    js.push_back(h.add_job(0.0, 1.0, 200.0));
+  }
+  h.sim.run_until(2.0);
+  h.scheduler->finish();
+  EXPECT_GT(js[0]->executed, 0.0) << "first-queued job must be picked on a tie";
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(js[static_cast<std::size_t>(i)]->executed, 0.0)
+        << "job " << i << " should have waited behind the tie winner";
+  }
+}
 
 }  // namespace
 }  // namespace ge::exp

@@ -122,6 +122,50 @@ TEST(PowerLawQuality, GenericInverseDerivative) {
   EXPECT_NEAR(f.inverse_derivative(f.derivative(x)), x, 1e-4);
 }
 
+// Inverse boundary contract: inverse(0) = 0 and inverse(1) = xmax for every
+// family, with out-of-range q clamped into [0, 1].  The GE cutter calls
+// inverse at the closed-form step, where overshoot can push the desired
+// quality to exactly 0 or 1 -- these edges must be exact, not approximate.
+TEST(QualityInverseEdges, AllFamiliesExactAtZeroAndOne) {
+  const ExponentialQuality expq(0.003, 1000.0);
+  const LinearQuality linq(1000.0);
+  const PowerLawQuality plq(0.5, 1000.0);
+  const QualityFunction* fams[] = {&expq, &linq, &plq};
+  for (const QualityFunction* f : fams) {
+    SCOPED_TRACE(f->name());
+    EXPECT_DOUBLE_EQ(f->inverse(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(f->inverse(1.0), f->xmax());
+    // Out-of-range targets clamp instead of extrapolating.
+    EXPECT_DOUBLE_EQ(f->inverse(-0.5), 0.0);
+    EXPECT_DOUBLE_EQ(f->inverse(1.5), f->xmax());
+    // Round trip at the boundaries.
+    EXPECT_DOUBLE_EQ(f->value(f->inverse(0.0)), 0.0);
+    EXPECT_NEAR(f->value(f->inverse(1.0)), 1.0, 1e-12);
+  }
+}
+
+TEST(QualityInverseEdges, RoundTripAcrossTheRange) {
+  const ExponentialQuality expq(0.003, 1000.0);
+  const LinearQuality linq(1000.0);
+  const PowerLawQuality plq(0.5, 1000.0);
+  const QualityFunction* fams[] = {&expq, &linq, &plq};
+  for (const QualityFunction* f : fams) {
+    SCOPED_TRACE(f->name());
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      EXPECT_NEAR(f->value(f->inverse(q)), q, 1e-9) << "q=" << q;
+    }
+  }
+}
+
+TEST(QualityConstructorChecks, RejectInvalidParameters) {
+  EXPECT_DEATH(ExponentialQuality(0.0, 1000.0), "positive");
+  EXPECT_DEATH(ExponentialQuality(0.003, 0.0), "positive");
+  EXPECT_DEATH(LinearQuality(-1.0), "positive");
+  EXPECT_DEATH(PowerLawQuality(0.0, 1000.0), "exponent");
+  EXPECT_DEATH(PowerLawQuality(1.0, 1000.0), "exponent");
+  EXPECT_DEATH(PowerLawQuality(0.5, 0.0), "positive");
+}
+
 TEST(MakePaperQualityFunction, UsesPaperConstants) {
   auto f = make_paper_quality_function();
   EXPECT_NEAR(f->value(1000.0), 1.0, 1e-12);

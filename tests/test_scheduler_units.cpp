@@ -57,6 +57,40 @@ TEST(LoadEstimator, RateTracksChanges) {
   EXPECT_NEAR(est.rate(t), 200.0, 10.0);
 }
 
+TEST(LoadEstimator, EmptyWindowReportsZero) {
+  LoadEstimator est(2.0);
+  EXPECT_DOUBLE_EQ(est.rate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.rate(10.0), 0.0);
+  // Arrivals that have aged out of the window leave an empty estimator too.
+  est.record_arrival(0.5);
+  EXPECT_DOUBLE_EQ(est.rate(100.0), 0.0);
+}
+
+TEST(LoadEstimator, FiftyMillisecondFloorBoundsEarlyRates) {
+  // The very first arrival must not read as a 1/epsilon rate spike: the
+  // effective window never shrinks below 50 ms.
+  LoadEstimator est(2.0);
+  est.record_arrival(0.001);
+  EXPECT_DOUBLE_EQ(est.rate(0.001), 1.0 / 0.05);
+  EXPECT_DOUBLE_EQ(est.rate(0.0), 1.0 / 0.05);
+  // Past the floor the elapsed time takes over ...
+  est.record_arrival(0.1);
+  EXPECT_DOUBLE_EQ(est.rate(0.1), 2.0 / 0.1);
+  // ... and past the window the window takes over.
+  EXPECT_DOUBLE_EQ(est.rate(2.0), 2.0 / 2.0);
+}
+
+TEST(LoadEstimator, NonPositiveWindowRefused) {
+  EXPECT_DEATH(LoadEstimator(0.0), "window");
+  EXPECT_DEATH(LoadEstimator(-1.0), "window");
+}
+
+TEST(LoadEstimator, OutOfOrderArrivalRefused) {
+  LoadEstimator est(1.0);
+  est.record_arrival(1.0);
+  EXPECT_DEATH(est.record_arrival(0.5), "order");
+}
+
 TEST(CumulativeRoundRobin, CyclesThroughCores) {
   CumulativeRoundRobin rr(3);
   EXPECT_EQ(rr.next(), 0u);

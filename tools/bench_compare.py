@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the BENCH_*.json trajectory.
+
+Compares two google-benchmark JSON files (--benchmark_format=json) and fails
+when any benchmark's time regresses beyond a threshold.  Median aggregates
+(from --benchmark_repetitions) are preferred; single-shot entries are used
+as-is.  See docs/BENCHMARKS.md for the file schema and workflow.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+  bench_compare.py --check FILE.json [FILE.json ...]
+
+Exit status: 0 = ok, 1 = regression past threshold (or malformed file in
+--check mode).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time in ns} for one result file.
+
+    Prefers `<name>_median` aggregate rows; falls back to the plain row.
+    Repetition rows (`<name>/repeats:N`-style duplicates) are collapsed by
+    keeping the aggregate or the first plain occurrence.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if "benchmarks" not in data or not isinstance(data["benchmarks"], list):
+        raise ValueError(f"{path}: missing 'benchmarks' array")
+    if "context" not in data:
+        raise ValueError(f"{path}: missing 'context' object")
+
+    unit_scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    medians = {}
+    singles = {}
+    for entry in data["benchmarks"]:
+        name = entry.get("name")
+        if not name or "real_time" not in entry:
+            raise ValueError(f"{path}: benchmark entry without name/real_time")
+        scale = unit_scale.get(entry.get("time_unit", "ns"))
+        if scale is None:
+            raise ValueError(f"{path}: unknown time_unit in {name}")
+        time_ns = float(entry["real_time"]) * scale
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[entry.get("run_name", name.rsplit("_median", 1)[0])] = time_ns
+        else:
+            singles.setdefault(name, time_ns)
+    out = dict(singles)
+    out.update(medians)  # aggregates win over raw repetition rows
+    if not out:
+        raise ValueError(f"{path}: no usable benchmark rows")
+    return out
+
+
+def check_files(paths):
+    ok = True
+    for path in paths:
+        try:
+            times = load_times(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"FAIL {path}: {err}")
+            ok = False
+            continue
+        print(f"ok   {path}: {len(times)} benchmarks")
+    return ok
+
+
+def compare(baseline_path, current_path, threshold):
+    baseline = load_times(baseline_path)
+    current = load_times(current_path)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: no common benchmarks between the two files")
+        return False
+
+    regressions = []
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in shared:
+        base = baseline[name]
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 / 1.3:
+            flag = "  (speedup)"
+        print(f"{name:<{width}}  {base:>10.0f}ns  {cur:>10.0f}ns  {ratio:5.2f}x{flag}")
+
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    for name in only_base:
+        print(f"note: {name} only in baseline")
+    for name in only_cur:
+        print(f"note: {name} only in current")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return False
+    print(f"\nok: no benchmark regressed more than {threshold:.0%} "
+          f"({len(shared)} compared)")
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE.json CURRENT.json, or files for --check")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fail when current/baseline - 1 exceeds this "
+                             "(default 0.10)")
+    parser.add_argument("--check", action="store_true",
+                        help="only validate that each file parses as "
+                             "google-benchmark JSON output")
+    args = parser.parse_args()
+
+    if args.check:
+        return 0 if check_files(args.files) else 1
+    if len(args.files) != 2:
+        parser.error("compare mode takes exactly BASELINE.json CURRENT.json")
+    return 0 if compare(args.files[0], args.files[1], args.threshold) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
