@@ -71,6 +71,26 @@ void BM_SimulateGE_Telemetry(benchmark::State& state) {
   state.counters["sim_seconds_per_iter"] = cfg.duration;
 }
 
+// Cluster run: 4 servers behind JSQ dispatch at the same per-server load as
+// the heavy single-server case -- the dispatch tier plus the 4x event
+// volume is the cost over BM_SimulateGE_Heavy.
+void BM_SimulateGE_Cluster4(benchmark::State& state) {
+  ge::exp::ExperimentConfig cfg = bench_config(4.0 * 220.0);
+  cfg.num_servers = 4;
+  cfg.dispatch = ge::cluster::DispatchPolicy::kJsq;
+  const ge::workload::Trace trace =
+      ge::workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const ge::exp::RunResult r =
+        ge::exp::run_simulation(cfg, ge::exp::SchedulerSpec::parse("GE"), trace);
+    jobs += r.released;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["sim_seconds_per_iter"] = cfg.duration;
+}
+
 // Fig. 3-style comparison: GE/BE/FCFS across three load points through the
 // experiment engine, the shape every figure binary runs.
 void BM_SimulateFig03Sweep(benchmark::State& state) {
@@ -104,6 +124,7 @@ BENCHMARK(BM_SimulateBE_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateFCFS_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Discrete)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Telemetry)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateGE_Cluster4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateFig03Sweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -14,6 +14,13 @@
 //   --trace-format jsonl|chrome   trace encoding (default jsonl; chrome
 //                  loads in Perfetto / about:tracing)
 //   --metrics F    write the merged metrics registry (JSON) to F
+//   --servers N    cluster size (default 1 = the paper's single server)
+//   --dispatch P   dispatch policy for N > 1: random | rr | jsq |
+//                  least-energy (default rr; see docs/CLUSTER.md)
+//   --server-cores a,b,...        per-server core counts (default: all
+//                  servers get --cores)
+//   --server-power-scale a,b,...  per-server power_a multipliers
+//   --server-max-ghz a,b,...      per-server DVFS ceilings (with --discrete)
 // (flag reference: docs/CLI.md; telemetry schema: docs/OBSERVABILITY.md)
 // and prints one table per panel of the figure plus a note stating the
 // qualitative shape the paper reports, so EXPERIMENTS.md can record

@@ -1,0 +1,199 @@
+#include "cluster/cluster.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "util/check.h"
+#include "workload/job.h"
+
+namespace ge::cluster {
+
+Cluster::Cluster(const std::vector<NodeSpec>& nodes,
+                 const quality::QualityFunction& quality_function,
+                 const SchedulerFactory& factory, DispatchPolicy policy,
+                 std::uint64_t dispatch_seed, sim::Simulator& sim)
+    : sim_(&sim) {
+  GE_CHECK(!nodes.empty(), "cluster needs at least one server");
+  GE_CHECK(factory != nullptr, "cluster needs a scheduler factory");
+  nodes_.reserve(nodes.size());
+  for (const NodeSpec& spec : nodes) {
+    auto node = std::make_unique<ClusterNode>();
+    node->server_ = std::make_unique<server::MulticoreServer>(
+        spec.core_models, spec.power_budget, sim);
+    node->monitor_ = std::make_unique<quality::QualityMonitor>(
+        quality_function, spec.monitor_window);
+    if (spec.discrete_speeds) {
+      node->table_ = std::make_unique<power::DiscreteSpeedTable>(
+          power::DiscreteSpeedTable::uniform_ghz(
+              spec.discrete_step_ghz, spec.discrete_max_ghz, spec.units_per_ghz));
+    }
+    sched::SchedulerEnv env;
+    env.sim = sim_;
+    env.server = node->server_.get();
+    env.quality_function = &quality_function;
+    env.monitor = node->monitor_.get();
+    node->scheduler_ = factory(env, node->table_.get());
+    GE_CHECK(node->scheduler_ != nullptr, "scheduler factory returned null");
+
+    sched::Scheduler* scheduler = node->scheduler_.get();
+    for (std::size_t i = 0; i < node->server_->core_count(); ++i) {
+      node->server_->core(i).set_job_finished_callback(
+          [scheduler](workload::Job* job) { scheduler->on_job_finished(job); });
+      node->server_->core(i).set_idle_callback(
+          [scheduler](int core_id) { scheduler->on_core_idle(core_id); });
+    }
+    total_cores_ += node->server_->core_count();
+    nodes_.push_back(std::move(node));
+  }
+  // A one-node cluster never consults its dispatcher state, so force the
+  // passthrough: single-server runs stay independent of --dispatch.
+  const DispatchPolicy effective =
+      nodes_.size() == 1 ? DispatchPolicy::kSingle : policy;
+  dispatcher_ = make_dispatcher(effective, *this, dispatch_seed);
+}
+
+ClusterNode& Cluster::node(std::size_t i) {
+  GE_CHECK(i < nodes_.size(), "cluster node index out of range");
+  return *nodes_[i];
+}
+
+const ClusterNode& Cluster::node(std::size_t i) const {
+  GE_CHECK(i < nodes_.size(), "cluster node index out of range");
+  return *nodes_[i];
+}
+
+void Cluster::start() {
+  for (auto& node : nodes_) {
+    node->scheduler_->start();
+  }
+}
+
+void Cluster::on_job_arrival(workload::Job* job) {
+  const std::size_t s = dispatcher_->pick(*job);
+  GE_CHECK(s < nodes_.size(), "dispatcher picked a server that does not exist");
+  if (job->id >= job_server_.size()) {
+    job_server_.resize(job->id + 1, kNoServer);
+  }
+  job_server_[job->id] = s;
+  ++nodes_[s]->dispatched_;
+  if (nodes_.size() > 1) {
+    if (obs::Telemetry* tel = sim_->telemetry(); tel != nullptr && tel->trace) {
+      obs::TraceEvent ev;
+      ev.type = obs::TraceEventType::kDispatch;
+      ev.t = job->arrival;
+      ev.job = static_cast<std::int64_t>(job->id);
+      ev.core = static_cast<std::int32_t>(s);  // server index, not a core
+      ev.a = static_cast<double>(in_flight(s) - 1);  // queue seen at dispatch
+      tel->trace->push(ev);
+    }
+  }
+  nodes_[s]->scheduler_->on_job_arrival(job);
+}
+
+void Cluster::on_deadline(workload::Job* job) {
+  nodes_[server_of(*job)]->scheduler_->on_deadline(job);
+}
+
+void Cluster::finish() {
+  for (auto& node : nodes_) {
+    node->scheduler_->finish();
+  }
+}
+
+std::size_t Cluster::server_of(const workload::Job& job) const {
+  GE_CHECK(job.id < job_server_.size() && job_server_[job.id] != kNoServer,
+           "job was never dispatched to a server");
+  return job_server_[job.id];
+}
+
+std::size_t Cluster::in_flight(std::size_t server) const {
+  const ClusterNode& node = *nodes_[server];
+  return static_cast<std::size_t>(node.dispatched_ -
+                                  node.monitor_->settled_jobs());
+}
+
+double Cluster::consumed_energy(std::size_t server) const {
+  return nodes_[server]->server_->total_energy();
+}
+
+std::size_t Cluster::online_cores(std::size_t server) const {
+  return nodes_[server]->server_->online_cores();
+}
+
+double Cluster::total_energy() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) {
+    total += node->server_->total_energy();
+  }
+  return total;
+}
+
+double Cluster::total_busy_time() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) {
+    total += node->server_->total_busy_time();
+  }
+  return total;
+}
+
+double Cluster::total_power(double t) const {
+  double total = 0.0;
+  for (const auto& node : nodes_) {
+    total += node->server_->total_power(t);
+  }
+  return total;
+}
+
+std::size_t Cluster::total_backlog() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->scheduler_->backlog();
+  }
+  return total;
+}
+
+int Cluster::busy_cores(double t) const {
+  int busy = 0;
+  for (const auto& node : nodes_) {
+    for (std::size_t i = 0; i < node->server_->core_count(); ++i) {
+      busy += node->server_->core(i).busy(t) ? 1 : 0;
+    }
+  }
+  return busy;
+}
+
+util::TimeWeightedStats Cluster::aggregate_speed_stats() const {
+  util::TimeWeightedStats stats;
+  for (const auto& node : nodes_) {
+    stats.merge(node->server_->aggregate_speed_stats());
+  }
+  return stats;
+}
+
+double Cluster::monitored_quality() const {
+  if (nodes_.size() == 1) {
+    return nodes_.front()->monitor_->quality();
+  }
+  double achieved = 0.0;
+  double potential = 0.0;
+  for (const auto& node : nodes_) {
+    achieved += node->monitor_->achieved_sum();
+    potential += node->monitor_->potential_sum();
+  }
+  return potential > 0.0 ? achieved / potential : 1.0;
+}
+
+void Cluster::export_metrics(obs::MetricsRegistry& registry,
+                             double elapsed) const {
+  registry.gauge("cluster.servers", "servers", obs::Gauge::Merge::kMax)
+      .set(static_cast<double>(nodes_.size()));
+  for (std::size_t s = 0; s < nodes_.size(); ++s) {
+    const std::string prefix = "s" + std::to_string(s) + ".";
+    registry.counter(prefix + "dispatched_jobs", "jobs")
+        .add(static_cast<double>(nodes_[s]->dispatched_));
+    nodes_[s]->server_->export_metrics(registry, elapsed, prefix);
+  }
+}
+
+}  // namespace ge::cluster

@@ -1,0 +1,147 @@
+// The cluster layer: N multicore servers, each with its own scheduler
+// instance, behind a pluggable dispatch tier.
+//
+// A Cluster owns one ClusterNode per server -- the MulticoreServer, its
+// per-server QualityMonitor (schedulers compensate against their *own*
+// quality feedback, not the fleet's), an optional per-server discrete DVFS
+// ladder, and the Scheduler built by a caller-supplied factory.  All nodes
+// share one sim::Simulator, so a cluster run is a single deterministic
+// event sequence; the dispatcher routes each arrival to a node, and
+// deadline events follow the job to wherever it was dispatched.
+//
+// The single-server experiment is the one-node cluster with the passthrough
+// dispatcher: every hook below degenerates to exactly the pre-cluster code
+// path (the aggregation loops start from the identity element and add one
+// term, which is bit-exact), so `num_servers == 1` reproduces the
+// single-server results bit-identically -- the golden test in
+// tests/test_cluster.cpp pins that contract.
+//
+// Layering: cluster sits between server/core and exp.  It deliberately does
+// not know about ExperimentConfig or SchedulerSpec; exp::run_simulation
+// translates its config into NodeSpecs and a scheduler factory, which keeps
+// the dependency graph acyclic and lets tests assemble clusters directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/dispatcher.h"
+#include "core/scheduler.h"
+#include "power/discrete_speed.h"
+#include "quality/quality_monitor.h"
+#include "server/multicore_server.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace ge::obs {
+class MetricsRegistry;
+}
+
+namespace ge::cluster {
+
+// Everything needed to build one server of the cluster.  Core counts, power
+// models and DVFS ladders may differ per node (heterogeneous fleets).
+struct NodeSpec {
+  std::vector<power::PowerModel> core_models;  // size = node core count
+  double power_budget = 0.0;                   // W, per server
+  std::size_t monitor_window = 0;              // 0 = cumulative monitor
+  // Discrete DVFS ladder; ignored when discrete_speeds is false.
+  bool discrete_speeds = false;
+  double discrete_step_ghz = 0.2;
+  double discrete_max_ghz = 3.2;
+  double units_per_ghz = 1000.0;
+};
+
+// One server plus its private scheduler stack.
+class ClusterNode {
+ public:
+  server::MulticoreServer& server() noexcept { return *server_; }
+  const server::MulticoreServer& server() const noexcept { return *server_; }
+  sched::Scheduler& scheduler() noexcept { return *scheduler_; }
+  const sched::Scheduler& scheduler() const noexcept { return *scheduler_; }
+  quality::QualityMonitor& monitor() noexcept { return *monitor_; }
+  const quality::QualityMonitor& monitor() const noexcept { return *monitor_; }
+  const power::DiscreteSpeedTable* speed_table() const noexcept {
+    return table_.get();
+  }
+  // Jobs dispatched to this node so far.
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+ private:
+  friend class Cluster;
+  std::unique_ptr<power::DiscreteSpeedTable> table_;
+  std::unique_ptr<server::MulticoreServer> server_;
+  std::unique_ptr<quality::QualityMonitor> monitor_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::uint64_t dispatched_ = 0;
+};
+
+class Cluster final : public DispatchView {
+ public:
+  // Builds one scheduler for a node; called once per node, in node order
+  // (relevant when telemetry is on: metric handles are created in node
+  // order, which keeps registry output deterministic).
+  using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>(
+      const sched::SchedulerEnv& env, const power::DiscreteSpeedTable* table)>;
+
+  // `quality_function` must outlive the cluster.  `dispatch_seed` feeds the
+  // random policy's private stream.  A one-node cluster always uses the
+  // passthrough policy regardless of `policy` (there is nothing to decide,
+  // and forcing it keeps single-server runs free of dispatcher state).
+  Cluster(const std::vector<NodeSpec>& nodes,
+          const quality::QualityFunction& quality_function,
+          const SchedulerFactory& factory, DispatchPolicy policy,
+          std::uint64_t dispatch_seed, sim::Simulator& sim);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  ClusterNode& node(std::size_t i);
+  const ClusterNode& node(std::size_t i) const;
+  Dispatcher& dispatcher() noexcept { return *dispatcher_; }
+
+  // -- event-facing entry points (the runner schedules these) --------------
+  void start();                             // scheduler->start(), node order
+  void on_job_arrival(workload::Job* job);  // dispatch, then forward
+  void on_deadline(workload::Job* job);     // forward to the job's node
+  void finish();                            // scheduler->finish(), node order
+
+  // Node the job was dispatched to; checked error if it never arrived.
+  std::size_t server_of(const workload::Job& job) const;
+
+  // -- DispatchView ---------------------------------------------------------
+  std::size_t num_servers() const override { return nodes_.size(); }
+  std::size_t in_flight(std::size_t server) const override;
+  double consumed_energy(std::size_t server) const override;
+  std::size_t online_cores(std::size_t server) const override;
+
+  // -- cluster-wide aggregates (sum over nodes, node order) -----------------
+  std::size_t total_cores() const noexcept { return total_cores_; }
+  double total_energy() const;
+  double total_busy_time() const;
+  double total_power(double t) const;
+  std::size_t total_backlog() const;
+  int busy_cores(double t) const;
+  util::TimeWeightedStats aggregate_speed_stats() const;
+  // Monitored quality: node 0's monitor for a one-node cluster (bit-exact
+  // with the pre-cluster runner, windowed or not); the pooled cumulative
+  // ratio sum(achieved) / sum(potential) otherwise.
+  double monitored_quality() const;
+
+  // End-of-run telemetry for a multi-node cluster: cluster.servers, then
+  // per node (in node order) the "sK."-prefixed dispatch count and server
+  // metrics.  The one-node cluster must NOT use this -- the runner exports
+  // the node's server metrics unprefixed, preserving the single-server
+  // metric schema byte-for-byte.
+  void export_metrics(obs::MetricsRegistry& registry, double elapsed) const;
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::size_t total_cores_ = 0;
+  static constexpr std::size_t kNoServer = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> job_server_;  // job id -> node index
+};
+
+}  // namespace ge::cluster

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cluster/cluster.h"
 #include "util/check.h"
 #include "workload/distributions.h"
 
@@ -43,7 +44,26 @@ void ExperimentConfig::validate() const {
            "config: invalid discrete speed ladder");
   GE_CHECK(static_power_per_core >= 0.0, "config: negative static power");
   GE_CHECK(hetero_spread >= 1.0, "config: hetero spread must be >= 1");
-  GE_CHECK(failure_cores <= cores, "config: cannot fail more cores than exist");
+  GE_CHECK(num_servers > 0, "config: need at least one server");
+  GE_CHECK(server_cores.empty() || server_cores.size() == num_servers,
+           "config: server_cores must be empty or have one entry per server");
+  for (std::size_t n : server_cores) {
+    GE_CHECK(n > 0, "config: every server needs at least one core");
+  }
+  GE_CHECK(server_power_scale.empty() || server_power_scale.size() == num_servers,
+           "config: server_power_scale must be empty or one entry per server");
+  for (double s : server_power_scale) {
+    GE_CHECK(s > 0.0, "config: server power scale must be positive");
+  }
+  GE_CHECK(server_max_ghz.empty() || server_max_ghz.size() == num_servers,
+           "config: server_max_ghz must be empty or one entry per server");
+  for (double g : server_max_ghz) {
+    GE_CHECK(!discrete_speeds || g >= discrete_step_ghz,
+             "config: per-server max GHz below the ladder step");
+  }
+  // Failures land on the last server; it must have that many cores.
+  GE_CHECK(failure_cores <= server_core_count(num_servers - 1),
+           "config: cannot fail more cores than exist");
   GE_CHECK(duration > 0.0, "config: duration must be positive");
 }
 
@@ -79,16 +99,70 @@ power::PowerModel ExperimentConfig::power_model() const {
   return power::PowerModel(power_a, power_beta, units_per_ghz);
 }
 
-std::vector<power::PowerModel> ExperimentConfig::core_power_models() const {
+namespace {
+
+// Core models for one server: `a_base` grows linearly to `a_base * spread`
+// across the server's cores (the single-server hetero_spread rule, applied
+// per server so heterogeneous fleets keep the same intra-server shape).
+std::vector<power::PowerModel> models_for(std::size_t ncores, double a_base,
+                                          double spread, double beta,
+                                          double units_per_ghz) {
   std::vector<power::PowerModel> models;
-  models.reserve(cores);
-  for (std::size_t i = 0; i < cores; ++i) {
+  models.reserve(ncores);
+  for (std::size_t i = 0; i < ncores; ++i) {
     const double frac =
-        cores > 1 ? static_cast<double>(i) / static_cast<double>(cores - 1) : 0.0;
-    const double a = power_a * (1.0 + (hetero_spread - 1.0) * frac);
-    models.emplace_back(a, power_beta, units_per_ghz);
+        ncores > 1 ? static_cast<double>(i) / static_cast<double>(ncores - 1) : 0.0;
+    const double a = a_base * (1.0 + (spread - 1.0) * frac);
+    models.emplace_back(a, beta, units_per_ghz);
   }
   return models;
+}
+
+}  // namespace
+
+std::vector<power::PowerModel> ExperimentConfig::core_power_models() const {
+  return models_for(cores, power_a, hetero_spread, power_beta, units_per_ghz);
+}
+
+std::size_t ExperimentConfig::server_core_count(std::size_t s) const {
+  GE_CHECK(s < num_servers, "config: server index out of range");
+  return server_cores.empty() ? cores : server_cores[s];
+}
+
+std::size_t ExperimentConfig::total_cores() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    total += server_core_count(s);
+  }
+  return total;
+}
+
+std::vector<cluster::NodeSpec> ExperimentConfig::cluster_node_specs(
+    double budget) const {
+  std::vector<cluster::NodeSpec> specs;
+  specs.reserve(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    const std::size_t ncores = server_core_count(s);
+    cluster::NodeSpec spec;
+    // `power_a * 1.0` and `budget * (n/n)` are bit-exact, but skipping the
+    // multiply entirely keeps the num_servers == 1 identity obvious.
+    const double scale = server_power_scale.empty() ? 1.0 : server_power_scale[s];
+    const double a_base = scale == 1.0 ? power_a : power_a * scale;
+    spec.core_models = models_for(ncores, a_base, hetero_spread, power_beta,
+                                  units_per_ghz);
+    spec.power_budget =
+        ncores == cores
+            ? budget
+            : budget * (static_cast<double>(ncores) / static_cast<double>(cores));
+    spec.monitor_window = monitor_window;
+    spec.discrete_speeds = discrete_speeds;
+    spec.discrete_step_ghz = discrete_step_ghz;
+    spec.discrete_max_ghz =
+        server_max_ghz.empty() ? discrete_max_ghz : server_max_ghz[s];
+    spec.units_per_ghz = units_per_ghz;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
 }
 
 double ExperimentConfig::mean_demand() const {

@@ -5,10 +5,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "cluster/dispatcher.h"
 #include "power/power_model.h"
 #include "quality/quality_function.h"
 #include "workload/generator.h"
+
+namespace ge::cluster {
+struct NodeSpec;
+}
 
 namespace ge::exp {
 
@@ -77,11 +83,26 @@ struct ExperimentConfig {
   double hetero_spread = 1.0;
 
   // Fault injection: at `failure_time` seconds, `failure_cores` cores (the
-  // highest-indexed ones) go offline permanently.  failure_time < 0
-  // disables injection.  Jobs pinned to a failed core are stranded (no
-  // migration) and settle at their deadlines.
+  // highest-indexed ones, on the highest-indexed server) go offline
+  // permanently.  failure_time < 0 disables injection.  Jobs pinned to a
+  // failed core are stranded (no migration) and settle at their deadlines.
   double failure_time = -1.0;
   std::size_t failure_cores = 0;
+
+  // Cluster (beyond the paper, which studies one server; Sec. VII points at
+  // server farms).  `num_servers` servers sit behind a dispatch tier; each
+  // gets its own scheduler instance and, by default, `cores` cores under a
+  // budget of `power_budget` (scaled by core-count ratio when a server's
+  // core count differs).  num_servers == 1 is the paper's setup and
+  // reproduces the pre-cluster results bit-identically; `dispatch` is
+  // ignored in that case (the passthrough policy is forced).
+  std::size_t num_servers = 1;
+  cluster::DispatchPolicy dispatch = cluster::DispatchPolicy::kRoundRobin;
+  // Per-server heterogeneity knobs; each is either empty (every server uses
+  // the homogeneous default) or has exactly num_servers entries.
+  std::vector<std::size_t> server_cores;     // core count per server
+  std::vector<double> server_power_scale;    // multiplier on power_a per server
+  std::vector<double> server_max_ghz;        // discrete_max_ghz per server
 
   // Run control.  `duration` is the arrival horizon; the run then drains
   // until every released job settles.  The paper uses 600 s; the benchmark
@@ -104,6 +125,15 @@ struct ExperimentConfig {
   power::PowerModel power_model() const;
   // One model per core; varies only when hetero_spread > 1.
   std::vector<power::PowerModel> core_power_models() const;
+  // Core count of server `s` (server_cores override, else `cores`).
+  std::size_t server_core_count(std::size_t s) const;
+  // Sum of core counts across all servers.
+  std::size_t total_cores() const;
+  // One NodeSpec per server, ready for cluster::Cluster.  `budget` is the
+  // per-server budget for a default-sized server (the runner passes the
+  // scheduler's effective budget); servers with a different core count get
+  // it scaled by their core-count ratio.
+  std::vector<cluster::NodeSpec> cluster_node_specs(double budget) const;
   std::unique_ptr<quality::QualityFunction> make_quality_function() const;
 
   // Mean demand of the bounded-Pareto distribution (~192.1 units).

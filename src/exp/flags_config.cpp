@@ -58,6 +58,20 @@ ExperimentConfig apply_flags(ExperimentConfig cfg, const util::Flags& flags) {
   cfg.failure_time = flags.get_double("failure-time", cfg.failure_time);
   cfg.failure_cores = static_cast<std::size_t>(
       flags.get_int("failure-cores", static_cast<std::int64_t>(cfg.failure_cores)));
+
+  // Cluster shape (--servers 1 is the paper's single-server setup).
+  cfg.num_servers = static_cast<std::size_t>(
+      flags.get_int("servers", static_cast<std::int64_t>(cfg.num_servers)));
+  const std::string dispatch = flags.get_string("dispatch", "");
+  if (!dispatch.empty()) {
+    cfg.dispatch = cluster::parse_dispatch_policy(dispatch);
+  }
+  for (double n : flags.get_double_list("server-cores", {})) {
+    cfg.server_cores.push_back(static_cast<std::size_t>(n));
+  }
+  cfg.server_power_scale =
+      flags.get_double_list("server-power-scale", cfg.server_power_scale);
+  cfg.server_max_ghz = flags.get_double_list("server-max-ghz", cfg.server_max_ghz);
   return cfg;
 }
 

@@ -41,7 +41,16 @@ std::string summarize(const RunResult& r, const ExperimentConfig& cfg) {
       static_cast<unsigned long long>(r.dropped), r.aes_fraction * 100.0,
       r.mean_response_ms, r.p50_response_ms, r.p95_response_ms, r.p99_response_ms,
       r.avg_speed_ghz, r.speed_variance);
-  return buf;
+  std::string out = buf;
+  if (r.num_servers > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "cluster        : %llu servers, %s dispatch "
+                  "(energy CoV %.3f, load CoV %.3f)\n",
+                  static_cast<unsigned long long>(r.num_servers),
+                  r.dispatch.c_str(), r.server_energy_cov, r.server_load_cov);
+    out += buf;
+  }
+  return out;
 }
 
 std::string to_json(const RunResult& r) {
@@ -72,6 +81,10 @@ std::string to_json(const RunResult& r) {
   json_field(os, "rounds", r.rounds, &first);
   json_field(os, "wf_rounds", r.wf_rounds, &first);
   json_field(os, "es_rounds", r.es_rounds, &first);
+  json_field(os, "num_servers", r.num_servers, &first);
+  os << ", \"dispatch\": \"" << r.dispatch << '"';
+  json_field(os, "server_energy_cov", r.server_energy_cov, &first);
+  json_field(os, "server_load_cov", r.server_load_cov, &first);
   os << '}';
   return os.str();
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "core/good_enough.h"
 #include "obs/telemetry.h"
 #include "quality/quality_function.h"
@@ -14,6 +15,7 @@
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/quantiles.h"
+#include "util/stats.h"
 
 namespace ge::exp {
 namespace {
@@ -55,37 +57,24 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
   }
   const power::PowerModel pm = cfg.power_model();
   const double budget = effective_budget(spec, cfg);
-  server::MulticoreServer server(cfg.core_power_models(), budget, sim);
   const std::unique_ptr<quality::QualityFunction> fp = cfg.make_quality_function();
   const quality::QualityFunction& f = *fp;
-  quality::QualityMonitor monitor(f, cfg.monitor_window);
 
-  std::unique_ptr<power::DiscreteSpeedTable> table;
-  if (cfg.discrete_speeds) {
-    table = std::make_unique<power::DiscreteSpeedTable>(
-        power::DiscreteSpeedTable::uniform_ghz(cfg.discrete_step_ghz,
-                                               cfg.discrete_max_ghz, cfg.units_per_ghz));
-  }
-
-  sched::SchedulerEnv env;
-  env.sim = &sim;
-  env.server = &server;
-  env.quality_function = &f;
-  env.monitor = &monitor;
-  std::unique_ptr<sched::Scheduler> scheduler =
-      make_scheduler(spec, env, cfg, table.get());
-
-  for (std::size_t i = 0; i < cfg.cores; ++i) {
-    server.core(i).set_job_finished_callback(
-        [&scheduler](workload::Job* job) { scheduler->on_job_finished(job); });
-    server.core(i).set_idle_callback(
-        [&scheduler](int core_id) { scheduler->on_core_idle(core_id); });
-  }
+  // Every run is a cluster run; the paper's single server is the one-node
+  // cluster with the passthrough dispatcher (bit-identical results -- see
+  // src/cluster/cluster.h and the golden test in tests/test_cluster.cpp).
+  cluster::Cluster cluster(
+      cfg.cluster_node_specs(budget), f,
+      [&spec, &cfg](const sched::SchedulerEnv& env,
+                    const power::DiscreteSpeedTable* table) {
+        return make_scheduler(spec, env, cfg, table);
+      },
+      cfg.dispatch, cfg.seed, sim);
 
   // Private, mutable copy of the trace; addresses are stable for the run.
   std::vector<workload::Job> jobs = trace.jobs();
   for (workload::Job& job : jobs) {
-    sim.schedule_at(job.arrival, [&scheduler, &job, trace_buf] {
+    sim.schedule_at(job.arrival, [&cluster, &job, trace_buf] {
       if (trace_buf != nullptr) {
         obs::TraceEvent ev;
         ev.type = obs::TraceEventType::kArrival;
@@ -95,26 +84,33 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
         ev.b = job.deadline;
         trace_buf->push(ev);
       }
-      scheduler->on_job_arrival(&job);
+      cluster.on_job_arrival(&job);
     });
-    sim.schedule_at(job.deadline, [&scheduler, &job] { scheduler->on_deadline(&job); });
+    sim.schedule_at(job.deadline, [&cluster, &job] { cluster.on_deadline(&job); });
   }
 
   if (cfg.verify_power) {
-    // Sample total power on a grid; the budget must never be exceeded.
+    // Sample total power on a grid; no server may exceed its own budget.
     const double step = 0.01;
     for (double t = step; t < cfg.duration + cfg.deadline_interval_max; t += step) {
-      sim.schedule_at(t, [&server, &sim, budget] {
-        GE_CHECK(server.total_power(sim.now()) <= budget * (1.0 + 1e-6) + 1e-6,
-                 "total power exceeded the budget");
+      sim.schedule_at(t, [&cluster, &sim] {
+        for (std::size_t s = 0; s < cluster.size(); ++s) {
+          const server::MulticoreServer& server = cluster.node(s).server();
+          GE_CHECK(server.total_power(sim.now()) <=
+                       server.power_budget() * (1.0 + 1e-6) + 1e-6,
+                   "total power exceeded the budget");
+        }
       });
     }
   }
 
   if (cfg.failure_time >= 0.0 && cfg.failure_cores > 0) {
-    GE_CHECK(cfg.failure_cores <= cfg.cores, "cannot fail more cores than exist");
-    sim.schedule_at(cfg.failure_time, [&server, &sim, &cfg] {
-      for (std::size_t i = cfg.cores - cfg.failure_cores; i < cfg.cores; ++i) {
+    sim.schedule_at(cfg.failure_time, [&cluster, &sim, &cfg] {
+      // Failures hit the highest-indexed cores of the highest-indexed server
+      // (validate() guarantees it has enough cores).
+      server::MulticoreServer& server = cluster.node(cluster.size() - 1).server();
+      const std::size_t n = server.core_count();
+      for (std::size_t i = n - cfg.failure_cores; i < n; ++i) {
         server.core(i).set_offline(sim.now());
       }
     });
@@ -125,18 +121,18 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
 
   if (timeline != nullptr) {
     GE_CHECK(timeline->interval > 0.0, "timeline interval must be positive");
-    auto* ge_sched = dynamic_cast<sched::GoodEnoughScheduler*>(scheduler.get());
+    // Mode comes from node 0's scheduler; with GE on every node they switch
+    // on their own feedback, and node 0 is the representative trace.
+    auto* ge_sched =
+        dynamic_cast<sched::GoodEnoughScheduler*>(&cluster.node(0).scheduler());
     for (double t = timeline->interval; t < horizon; t += timeline->interval) {
-      sim.schedule_at(t, [&server, &sim, &monitor, &scheduler, ge_sched, timeline,
-                          &cfg] {
+      sim.schedule_at(t, [&cluster, &sim, ge_sched, timeline] {
         TimelinePoint point;
         point.time = sim.now();
-        point.total_power = server.total_power(point.time);
-        point.quality = monitor.quality();
-        for (std::size_t i = 0; i < cfg.cores; ++i) {
-          point.busy_cores += server.core(i).busy(point.time) ? 1 : 0;
-        }
-        point.backlog = scheduler->backlog();
+        point.total_power = cluster.total_power(point.time);
+        point.quality = cluster.monitored_quality();
+        point.busy_cores = cluster.busy_cores(point.time);
+        point.backlog = cluster.total_backlog();
         if (ge_sched != nullptr) {
           point.mode =
               ge_sched->mode() == sched::GoodEnoughScheduler::Mode::kBq ? 1 : 0;
@@ -146,14 +142,16 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     }
   }
 
-  scheduler->start();
+  cluster.start();
   sim.run_until(horizon);
-  scheduler->finish();
+  cluster.finish();
 
   RunResult result;
-  result.scheduler = scheduler->name();
+  result.scheduler = cluster.node(0).scheduler().name();
   result.arrival_rate = cfg.arrival_rate;
   result.duration = cfg.duration;
+  result.num_servers = static_cast<std::uint64_t>(cluster.size());
+  result.dispatch = cluster.dispatcher().name();
 
   double achieved = 0.0;
   double potential = 0.0;
@@ -175,9 +173,9 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     }
   }
   result.quality = potential > 0.0 ? achieved / potential : 1.0;
-  result.energy = server.total_energy();
-  result.static_energy =
-      cfg.static_power_per_core * static_cast<double>(cfg.cores) * horizon;
+  result.energy = cluster.total_energy();
+  result.static_energy = cfg.static_power_per_core *
+                         static_cast<double>(cluster.total_cores()) * horizon;
   result.avg_power = cfg.duration > 0.0 ? result.energy / cfg.duration : 0.0;
   if (responses.count() > 0) {
     result.mean_response_ms = responses.mean();
@@ -186,27 +184,51 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     result.p99_response_ms = responses.quantile(0.99);
   }
 
-  const double aes = scheduler->aes_time(sim.now());
-  const double bq = scheduler->bq_time(sim.now());
+  double aes = 0.0;
+  double bq = 0.0;
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    aes += cluster.node(s).scheduler().aes_time(sim.now());
+    bq += cluster.node(s).scheduler().bq_time(sim.now());
+  }
   result.aes_fraction = (aes + bq) > 0.0 ? aes / (aes + bq) : 0.0;
 
-  const util::TimeWeightedStats speed = server.aggregate_speed_stats();
+  const util::TimeWeightedStats speed = cluster.aggregate_speed_stats();
   result.avg_speed_ghz = pm.ghz(speed.mean());
   const double ghz_scale = 1.0 / (cfg.units_per_ghz * cfg.units_per_ghz);
   result.speed_variance = speed.variance() * ghz_scale;
-  result.busy_fraction =
-      server.total_busy_time() / (static_cast<double>(cfg.cores) * horizon);
+  result.busy_fraction = cluster.total_busy_time() /
+                         (static_cast<double>(cluster.total_cores()) * horizon);
   util::RunningStats core_energy;
-  for (std::size_t i = 0; i < cfg.cores; ++i) {
-    core_energy.add(server.core(i).energy());
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    const server::MulticoreServer& server = cluster.node(s).server();
+    for (std::size_t i = 0; i < server.core_count(); ++i) {
+      core_energy.add(server.core(i).energy());
+    }
   }
   result.energy_cov =
       core_energy.mean() > 0.0 ? core_energy.stddev() / core_energy.mean() : 0.0;
 
-  if (auto* ge = dynamic_cast<sched::GoodEnoughScheduler*>(scheduler.get())) {
-    result.rounds = ge->rounds();
-    result.wf_rounds = ge->wf_rounds();
-    result.es_rounds = ge->es_rounds();
+  if (cluster.size() > 1) {
+    util::RunningStats server_energy;
+    util::RunningStats server_load;
+    for (std::size_t s = 0; s < cluster.size(); ++s) {
+      server_energy.add(cluster.node(s).server().total_energy());
+      server_load.add(static_cast<double>(cluster.node(s).dispatched()));
+    }
+    result.server_energy_cov = server_energy.mean() > 0.0
+                                   ? server_energy.stddev() / server_energy.mean()
+                                   : 0.0;
+    result.server_load_cov =
+        server_load.mean() > 0.0 ? server_load.stddev() / server_load.mean() : 0.0;
+  }
+
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    if (auto* ge = dynamic_cast<sched::GoodEnoughScheduler*>(
+            &cluster.node(s).scheduler())) {
+      result.rounds += ge->rounds();
+      result.wf_rounds += ge->wf_rounds();
+      result.es_rounds += ge->es_rounds();
+    }
   }
 
   if (telemetry != nullptr) {
@@ -226,7 +248,12 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     reg.histogram("run.quality",
                   {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, "ratio")
         .observe(result.quality);
-    server.export_metrics(reg, horizon);
+    if (cluster.size() == 1) {
+      // Single-server runs keep the unprefixed metric schema byte-for-byte.
+      cluster.node(0).server().export_metrics(reg, horizon);
+    } else {
+      cluster.export_metrics(reg, horizon);
+    }
   }
   return result;
 }

@@ -57,6 +57,14 @@ struct RunResult {
   // Coefficient of variation of per-core energy (stddev / mean): 0 = perfect
   // balance.  Quantifies assignment imbalance (see abl_assignment).
   double energy_cov = 0.0;
+
+  // Cluster shape (the paper's single-server setup reports 1 / "single").
+  std::uint64_t num_servers = 1;
+  std::string dispatch = "single";
+  // Cross-server imbalance, 0 when num_servers == 1: CoV of per-server
+  // dynamic energy and of per-server dispatched-job counts.
+  double server_energy_cov = 0.0;
+  double server_load_cov = 0.0;
 };
 
 // Runs the scheduler on a fresh synthetic trace derived from cfg.

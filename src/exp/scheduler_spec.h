@@ -39,7 +39,9 @@ struct SchedulerSpec {
   std::string display_name() const;
 
   // Parses "GE", "OQ", "BE", "BE-P", "BE-S", "FCFS", "FDFS", "LJF", "SJF",
-  // "GE-NOCOMP", "GE-ES", "GE-WF" (case-insensitive).
+  // "GE-NOCOMP" (alias "GE-NC"), "GE-ES", "GE-WF", "GE-RR"
+  // (case-insensitive).  Round-trips with display_name() for every
+  // Algorithm (pinned by SchedulerSpecTest.ParseRoundTripEveryAlgorithm).
   static SchedulerSpec parse(const std::string& name);
 };
 

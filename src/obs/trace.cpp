@@ -123,6 +123,12 @@ void TraceWriter::append_jsonl(const TraceTaskInfo& info, const TraceBuffer& buf
         out_ << "{\"ev\": \"core_offline\", \"task\": " << task
              << ", \"t\": " << fmt(ev.t) << ", \"core\": " << ev.core << "}\n";
         break;
+      case TraceEventType::kDispatch:
+        out_ << "{\"ev\": \"dispatch\", \"task\": " << task
+             << ", \"t\": " << fmt(ev.t) << ", \"job\": " << ev.job
+             << ", \"server\": " << ev.core << ", \"in_flight\": " << fmt(ev.a)
+             << "}\n";
+        break;
     }
   }
 }
@@ -206,6 +212,15 @@ void TraceWriter::append_chrome(const TraceTaskInfo& info, const TraceBuffer& bu
         record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": " + tid +
                ", \"ts\": " + us(ev.t) + ", \"s\": \"p\", \"name\": \"core " +
                "offline\", \"cat\": \"fault\", \"args\": {}}");
+        break;
+      case TraceEventType::kDispatch:
+        // Dispatch decisions land on the scheduler track; ev.core is the
+        // server index here, not a core id.
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": 0, \"ts\": " +
+               us(ev.t) + ", \"s\": \"t\", \"name\": \"dispatch -> s" +
+               std::to_string(ev.core) + "\", \"cat\": \"cluster\", \"args\": "
+               "{\"job\": " + std::to_string(ev.job) + ", \"in_flight\": " +
+               fmt(ev.a) + "}}");
         break;
     }
   }

@@ -39,6 +39,9 @@ enum class TraceEventType : std::uint8_t {
   kDeadlineMiss,  // job settled below target by its deadline: core, job,
                   // a=executed, b=demand, c=monitored quality
   kCoreOffline,   // fault injection: core went offline
+  kDispatch,      // cluster dispatch decision: job, core=server index,
+                  // a=jobs already in flight on that server (multi-server
+                  // runs only; see docs/CLUSTER.md)
 };
 
 // Execution mode tags shared by kRound / kModeSwitch (mirrors

@@ -97,18 +97,19 @@ int MulticoreServer::find_idle_core(double t) const {
 }
 
 void MulticoreServer::export_metrics(obs::MetricsRegistry& registry,
-                                     double elapsed) const {
-  registry.counter("server.energy_j", "J").add(total_energy());
-  registry.counter("server.busy_core_s", "s").add(total_busy_time());
-  registry.counter("server.idle_core_s", "s")
+                                     double elapsed,
+                                     const std::string& prefix) const {
+  registry.counter(prefix + "server.energy_j", "J").add(total_energy());
+  registry.counter(prefix + "server.busy_core_s", "s").add(total_busy_time());
+  registry.counter(prefix + "server.idle_core_s", "s")
       .add(static_cast<double>(cores_.size()) * elapsed - total_busy_time());
-  registry.gauge("server.online_cores", "cores", obs::Gauge::Merge::kMin)
+  registry.gauge(prefix + "server.online_cores", "cores", obs::Gauge::Merge::kMin)
       .set(static_cast<double>(online_cores()));
   for (const auto& core : cores_) {
-    const std::string prefix = "core." + std::to_string(core->id());
-    registry.counter(prefix + ".energy_j", "J").add(core->energy());
-    registry.counter(prefix + ".busy_s", "s").add(core->busy_time());
-    registry.counter(prefix + ".idle_s", "s").add(elapsed - core->busy_time());
+    const std::string core_prefix = prefix + "core." + std::to_string(core->id());
+    registry.counter(core_prefix + ".energy_j", "J").add(core->energy());
+    registry.counter(core_prefix + ".busy_s", "s").add(core->busy_time());
+    registry.counter(core_prefix + ".idle_s", "s").add(elapsed - core->busy_time());
   }
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "power/power_model.h"
@@ -69,8 +70,12 @@ class MulticoreServer {
 
   // End-of-run telemetry: per-core and total energy / busy / idle time into
   // `registry` (metric catalog: docs/OBSERVABILITY.md).  `elapsed` is the
-  // run horizon in simulated seconds (idle = elapsed - busy).
-  void export_metrics(obs::MetricsRegistry& registry, double elapsed) const;
+  // run horizon in simulated seconds (idle = elapsed - busy).  `prefix` is
+  // prepended to every metric name; the cluster layer uses "sK." so a
+  // multi-server run labels each server's metrics, while single-server runs
+  // keep the unprefixed schema.
+  void export_metrics(obs::MetricsRegistry& registry, double elapsed,
+                      const std::string& prefix = "") const;
 
  private:
   void build_cores(sim::Simulator& sim);

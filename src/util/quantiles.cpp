@@ -13,6 +13,12 @@ void QuantileCollector::add(double sample) {
   sorted_ = false;
 }
 
+void QuantileCollector::merge(const QuantileCollector& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = samples_.empty();
+}
+
 double QuantileCollector::mean() const noexcept {
   return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
 }

@@ -16,6 +16,10 @@ class QuantileCollector {
  public:
   void add(double sample);
   void reserve(std::size_t n) { samples_.reserve(n); }
+  // Pools another collector's samples into this one; equivalent to adding
+  // its samples individually (quantiles are computed over the pooled set,
+  // so merged per-server collectors match one cluster-wide collector).
+  void merge(const QuantileCollector& other);
 
   std::size_t count() const noexcept { return samples_.size(); }
   double mean() const noexcept;

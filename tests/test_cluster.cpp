@@ -1,0 +1,463 @@
+// Tests for the cluster layer: dispatch policies against a fake view,
+// cross-server aggregation, and the bit-identity contract that the
+// num_servers == 1 cluster path reproduces the pre-cluster single-server
+// runner exactly (goldens captured from the last single-server build at
+// full double precision).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/dispatcher.h"
+#include "core/queue_policy.h"
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "exp/scheduler_spec.h"
+#include "obs/telemetry.h"
+#include "quality/quality_function.h"
+#include "util/quantiles.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace ge::cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dispatch policies against a fake view.
+
+struct FakeView final : public DispatchView {
+  std::vector<std::size_t> flight;
+  std::vector<double> energy;
+  std::vector<std::size_t> cores;
+
+  std::size_t num_servers() const override { return flight.size(); }
+  std::size_t in_flight(std::size_t s) const override { return flight[s]; }
+  double consumed_energy(std::size_t s) const override { return energy[s]; }
+  std::size_t online_cores(std::size_t s) const override { return cores[s]; }
+};
+
+FakeView uniform_view(std::size_t n) {
+  FakeView view;
+  view.flight.assign(n, 0);
+  view.energy.assign(n, 0.0);
+  view.cores.assign(n, 4);
+  return view;
+}
+
+TEST(DispatchPolicy, NamesRoundTrip) {
+  for (DispatchPolicy policy :
+       {DispatchPolicy::kSingle, DispatchPolicy::kRandom,
+        DispatchPolicy::kRoundRobin, DispatchPolicy::kJsq,
+        DispatchPolicy::kLeastEnergy}) {
+    EXPECT_EQ(parse_dispatch_policy(to_string(policy)), policy);
+  }
+  EXPECT_EQ(parse_dispatch_policy("round-robin"), DispatchPolicy::kRoundRobin);
+  EXPECT_EQ(parse_dispatch_policy("power"), DispatchPolicy::kLeastEnergy);
+  EXPECT_EQ(parse_dispatch_policy("JSQ"), DispatchPolicy::kJsq);
+  EXPECT_EQ(parse_dispatch_policy("Least-Energy"), DispatchPolicy::kLeastEnergy);
+}
+
+TEST(DispatchPolicy, UnknownNameDies) {
+  EXPECT_DEATH((void)parse_dispatch_policy("fastest"), "unknown dispatch policy");
+}
+
+TEST(DispatchPolicy, SingleAlwaysPicksServerZero) {
+  FakeView view = uniform_view(3);
+  view.flight = {9, 0, 0};
+  auto d = make_dispatcher(DispatchPolicy::kSingle, view, 1);
+  const workload::Job job;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(d->pick(job), 0u);
+  }
+}
+
+TEST(DispatchPolicy, RoundRobinCycles) {
+  FakeView view = uniform_view(3);
+  auto d = make_dispatcher(DispatchPolicy::kRoundRobin, view, 1);
+  const workload::Job job;
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(d->pick(job), i % 3);
+  }
+}
+
+TEST(DispatchPolicy, JsqPicksFewestInFlightPerOnlineCore) {
+  FakeView view = uniform_view(3);
+  view.flight = {4, 1, 4};
+  auto d = make_dispatcher(DispatchPolicy::kJsq, view, 1);
+  const workload::Job job;
+  EXPECT_EQ(d->pick(job), 1u);
+  // Equal in-flight counts, unequal capacity: the bigger server wins
+  // (2 jobs over 8 cores is lighter than 2 jobs over 2 cores).
+  view.flight = {2, 2};
+  view.cores = {2, 8};
+  view.energy = {0.0, 0.0};
+  auto d2 = make_dispatcher(DispatchPolicy::kJsq, view, 1);
+  EXPECT_EQ(d2->pick(job), 1u);
+}
+
+TEST(DispatchPolicy, JsqTiesBreakToLowestIndex) {
+  FakeView view = uniform_view(4);
+  view.flight = {3, 2, 2, 5};
+  auto d = make_dispatcher(DispatchPolicy::kJsq, view, 1);
+  EXPECT_EQ(d->pick(workload::Job{}), 1u);
+}
+
+TEST(DispatchPolicy, LeastEnergyPicksArgmin) {
+  FakeView view = uniform_view(3);
+  view.energy = {120.0, 80.0, 200.0};
+  auto d = make_dispatcher(DispatchPolicy::kLeastEnergy, view, 1);
+  EXPECT_EQ(d->pick(workload::Job{}), 1u);
+  view.energy = {50.0, 50.0, 90.0};
+  auto d2 = make_dispatcher(DispatchPolicy::kLeastEnergy, view, 1);
+  EXPECT_EQ(d2->pick(workload::Job{}), 0u);
+}
+
+TEST(DispatchPolicy, RandomIsSeededAndInRange) {
+  FakeView view = uniform_view(8);
+  auto a = make_dispatcher(DispatchPolicy::kRandom, view, 42);
+  auto b = make_dispatcher(DispatchPolicy::kRandom, view, 42);
+  auto c = make_dispatcher(DispatchPolicy::kRandom, view, 43);
+  const workload::Job job;
+  bool differs = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t sa = a->pick(job);
+    EXPECT_LT(sa, 8u);
+    EXPECT_EQ(sa, b->pick(job));  // same seed, same stream
+    differs = differs || sa != c->pick(job);
+  }
+  EXPECT_TRUE(differs);  // distinct seeds decorrelate (200 draws over 8 bins)
+}
+
+// ---------------------------------------------------------------------------
+// QuantileCollector::merge -- per-server collectors must pool exactly.
+
+TEST(QuantileMerge, MergedCollectorsMatchPooledSamples) {
+  util::Rng rng(7);
+  util::QuantileCollector pooled;
+  util::QuantileCollector parts[3];
+  for (int i = 0; i < 999; ++i) {
+    const double sample = rng.uniform(0.0, 250.0);
+    pooled.add(sample);
+    parts[i % 3].add(sample);
+  }
+  util::QuantileCollector merged;
+  for (const auto& part : parts) {
+    merged.merge(part);
+  }
+  ASSERT_EQ(merged.count(), pooled.count());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    // Same multiset of samples, so the sorted order statistics are
+    // identical bit for bit.
+    EXPECT_EQ(merged.quantile(q), pooled.quantile(q)) << q;
+  }
+  EXPECT_NEAR(merged.mean(), pooled.mean(), 1e-9);
+  EXPECT_EQ(merged.min(), pooled.min());
+  EXPECT_EQ(merged.max(), pooled.max());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster assembled directly (no exp layer): dispatch accounting.
+
+std::unique_ptr<sched::Scheduler> fcfs_factory(
+    const sched::SchedulerEnv& env, const power::DiscreteSpeedTable* table) {
+  sched::QueuePolicyOptions opts;
+  opts.order = sched::QueueOrder::kFcfs;
+  opts.speed_table = table;
+  return std::make_unique<sched::QueuePolicyScheduler>(env, opts);
+}
+
+TEST(Cluster, RoundRobinDispatchCountsSumToReleased) {
+  exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = 200.0;
+  cfg.duration = 2.0;
+  cfg.seed = 11;
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+
+  sim::Simulator sim;
+  quality::ExponentialQuality f(cfg.quality_c, cfg.demand_max);
+  std::vector<NodeSpec> nodes(3);
+  for (NodeSpec& node : nodes) {
+    node.core_models.assign(4, power::PowerModel(5.0, 2.0, 1000.0));
+    node.power_budget = 80.0;
+  }
+  Cluster cluster(nodes, f, fcfs_factory, DispatchPolicy::kRoundRobin, cfg.seed,
+                  sim);
+  EXPECT_EQ(cluster.size(), 3u);
+  EXPECT_EQ(cluster.total_cores(), 12u);
+  EXPECT_EQ(cluster.dispatcher().policy(), DispatchPolicy::kRoundRobin);
+
+  std::vector<workload::Job> jobs = trace.jobs();
+  for (workload::Job& job : jobs) {
+    sim.schedule_at(job.arrival, [&cluster, &job] { cluster.on_job_arrival(&job); });
+    sim.schedule_at(job.deadline, [&cluster, &job] { cluster.on_deadline(&job); });
+  }
+  cluster.start();
+  sim.run_until(cfg.duration + cfg.deadline_interval_max + 1.0);
+  cluster.finish();
+
+  std::uint64_t dispatched = 0;
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    dispatched += cluster.node(s).dispatched();
+  }
+  EXPECT_EQ(dispatched, jobs.size());
+  // Round-robin: per-node counts differ by at most one.
+  const std::uint64_t lo =
+      std::min({cluster.node(0).dispatched(), cluster.node(1).dispatched(),
+                cluster.node(2).dispatched()});
+  const std::uint64_t hi =
+      std::max({cluster.node(0).dispatched(), cluster.node(1).dispatched(),
+                cluster.node(2).dispatched()});
+  EXPECT_LE(hi - lo, 1u);
+  // Every job routed is findable, and energy was burnt on every node.
+  EXPECT_EQ(cluster.server_of(jobs.front()), 0u);
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    EXPECT_GT(cluster.node(s).server().total_energy(), 0.0) << s;
+  }
+  // Aggregates equal the per-node sums.
+  double energy = 0.0;
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    energy += cluster.node(s).server().total_energy();
+  }
+  EXPECT_DOUBLE_EQ(cluster.total_energy(), energy);
+}
+
+TEST(Cluster, SingleNodeForcesPassthroughDispatcher) {
+  sim::Simulator sim;
+  quality::ExponentialQuality f(0.003, 1000.0);
+  std::vector<NodeSpec> nodes(1);
+  nodes[0].core_models.assign(2, power::PowerModel(5.0, 2.0, 1000.0));
+  nodes[0].power_budget = 40.0;
+  Cluster cluster(nodes, f, fcfs_factory, DispatchPolicy::kJsq, 1, sim);
+  EXPECT_EQ(cluster.dispatcher().policy(), DispatchPolicy::kSingle);
+}
+
+// ---------------------------------------------------------------------------
+// exp::run_simulation on the cluster path.
+
+TEST(ClusterRun, ConfigValidation) {
+  exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+  cfg.num_servers = 0;
+  EXPECT_DEATH(cfg.validate(), "at least one server");
+  cfg.num_servers = 2;
+  cfg.server_cores = {8, 8, 8};
+  EXPECT_DEATH(cfg.validate(), "one entry per server");
+  cfg.server_cores = {8, 4};
+  cfg.validate();
+  EXPECT_EQ(cfg.server_core_count(0), 8u);
+  EXPECT_EQ(cfg.server_core_count(1), 4u);
+  EXPECT_EQ(cfg.total_cores(), 12u);
+  // Failures land on the last server; 6 > 4 cores must be rejected.
+  cfg.failure_cores = 6;
+  EXPECT_DEATH(cfg.validate(), "cannot fail more cores");
+}
+
+TEST(ClusterRun, NodeSpecsScaleBudgetByCoreCount) {
+  exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+  cfg.num_servers = 2;
+  cfg.server_cores = {16, 8};
+  const std::vector<NodeSpec> specs = cfg.cluster_node_specs(320.0);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].core_models.size(), 16u);
+  EXPECT_DOUBLE_EQ(specs[0].power_budget, 320.0);
+  EXPECT_EQ(specs[1].core_models.size(), 8u);
+  EXPECT_DOUBLE_EQ(specs[1].power_budget, 160.0);
+}
+
+TEST(ClusterRun, AggregatesAcrossServers) {
+  exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = 300.0;
+  cfg.duration = 2.0;
+  cfg.seed = 9;
+  cfg.num_servers = 3;
+  cfg.dispatch = DispatchPolicy::kRoundRobin;
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  obs::RunTelemetry telemetry;
+  const exp::RunResult r = exp::run_simulation(
+      cfg, exp::SchedulerSpec::parse("GE"), trace, nullptr, &telemetry);
+
+  EXPECT_EQ(r.num_servers, 3u);
+  EXPECT_EQ(r.dispatch, "rr");
+  EXPECT_EQ(r.released, trace.jobs().size());
+
+  obs::MetricsRegistry& reg = telemetry.metrics;
+  EXPECT_EQ(
+      reg.gauge("cluster.servers", "servers", obs::Gauge::Merge::kMax).value(),
+      3.0);
+  // Energy and dispatch counts: the cluster totals are the per-server sums.
+  double energy = 0.0;
+  double dispatched = 0.0;
+  for (const char* s : {"s0.", "s1.", "s2."}) {
+    const std::string prefix(s);
+    energy += reg.counter(prefix + "server.energy_j", "J").value();
+    const double d = reg.counter(prefix + "dispatched_jobs", "jobs").value();
+    EXPECT_GT(d, 0.0) << prefix;
+    dispatched += d;
+  }
+  EXPECT_DOUBLE_EQ(r.energy, energy);
+  EXPECT_EQ(dispatched, static_cast<double>(r.released));
+  // Round-robin balances, so the cross-server load CoV is tiny and the
+  // energy CoV reflects only workload noise.
+  EXPECT_GE(r.server_load_cov, 0.0);
+  EXPECT_LT(r.server_load_cov, 0.01);
+  EXPECT_GE(r.server_energy_cov, 0.0);
+  EXPECT_LT(r.server_energy_cov, 0.5);
+}
+
+TEST(ClusterRun, SingleServerReportsSingleShape) {
+  exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = 120.0;
+  cfg.duration = 2.0;
+  cfg.seed = 5;
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  // --dispatch is irrelevant at num_servers == 1: any policy gives the
+  // passthrough run, bit for bit.
+  cfg.dispatch = DispatchPolicy::kJsq;
+  const exp::RunResult a =
+      exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
+  cfg.dispatch = DispatchPolicy::kRandom;
+  const exp::RunResult b =
+      exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"), trace);
+  EXPECT_EQ(a.num_servers, 1u);
+  EXPECT_EQ(a.dispatch, "single");
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.p99_response_ms, b.p99_response_ms);
+  EXPECT_EQ(a.server_energy_cov, 0.0);
+  EXPECT_EQ(a.server_load_cov, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The bit-identity contract: num_servers == 1 reproduces the pre-cluster
+// single-server runner exactly.  Goldens were captured at %.17g from the
+// last build before the cluster refactor (paper defaults, duration 4 s,
+// plus the listed overrides); every comparison below is exact.
+
+struct GoldenCase {
+  const char* sched;
+  double rate;
+  std::uint64_t seed;
+  bool discrete;
+  double hetero;
+  double failure_time;
+  std::size_t failure_cores;
+  double quality, energy, static_energy, avg_power;
+  double mean_ms, p50_ms, p95_ms, p99_ms;
+  double aes_fraction, avg_speed_ghz, speed_variance, busy_fraction, energy_cov;
+  std::uint64_t released, completed, partial, dropped;
+  std::uint64_t rounds, wf_rounds, es_rounds;
+};
+
+constexpr GoldenCase kGoldens[] = {
+    {"GE", 150, 21ULL, false, 1, -1, 0,
+     0.90063595804832031, 901.19149384643129, 0, 225.29787346160782,
+     145.00167260683284, 148.7803362759208, 150.00000000000003, 150.00000000000014,
+     0.76107237215655665, 1.5983116294329094, 0.25347871351602624, 0.77895179140943793, 0.092250419845740506,
+     625ULL, 186ULL, 439ULL, 0ULL, 140ULL, 58ULL, 82ULL},
+    {"GE", 230, 22ULL, true, 1, -1, 0,
+     0.77362559522280194, 1248.0027560004185, 0, 312.00068900010461,
+     142.65903935618894, 145.72738449932433, 150.00000000000003, 150.00000000000023,
+     0.039463963336364698, 1.9453194551508561, 0.034743129551452118, 0.79317209942622224, 0.016541750065012611,
+     955ULL, 108ULL, 847ULL, 0ULL, 140ULL, 132ULL, 8ULL},
+    {"BE", 150, 23ULL, false, 1, -1, 0,
+     0.98247880674093091, 988.8065303456533, 0, 247.20163258641333,
+     146.29167958536266, 149.99999999999991, 150.00000000000003, 150.00000000000034,
+     0, 1.6559279910648081, 0.37445955489932931, 0.77008564231283505, 0.16102896149941365,
+     566ULL, 511ULL, 55ULL, 0ULL, 163ULL, 163ULL, 0ULL},
+    {"BE-P", 180, 24ULL, false, 1, -1, 0,
+     0.84246896556008732, 1006.4850070342123, 0, 251.62125175855309,
+     143.34154009767701, 148.28746987541962, 150.00000000000003, 150.00000000000023,
+     0, 1.7524944116797128, 0.046543012732836418, 0.78354631451154688, 0.03434029562719474,
+     762ULL, 235ULL, 527ULL, 0ULL, 124ULL, 124ULL, 0ULL},
+    {"BE-S", 180, 25ULL, false, 1, -1, 0,
+     0.91106801115660963, 1001.7041366135697, 0, 250.42603415339244,
+     145.39206655613538, 149.14763204371883, 150.00000000000003, 150.00000000000034,
+     0, 1.7328651032654312, 0.09386173883105442, 0.78513705116895049, 0.050482087893704869,
+     697ULL, 438ULL, 259ULL, 0ULL, 121ULL, 0ULL, 121ULL},
+    {"GE-RR", 200, 26ULL, false, 1, -1, 0,
+     0.27314665340429028, 1317.679402095376, 0, 329.41985052384399,
+     133.07729078888971, 135.1703633795629, 149.34388980262113, 149.99999999999991,
+     0.0061096923121842436, 7.9601202777501596, 0.23755152475738525, 0.05028612189937285, 3.8729833462074175,
+     807ULL, 0ULL, 807ULL, 0ULL, 817ULL, 808ULL, 9ULL},
+    {"FDFS", 120, 27ULL, false, 2, -1, 0,
+     0.9047384761961369, 855.70408766216747, 0, 213.92602191554187,
+     150, 149.99999999999991, 150.00000000000003, 150.00000000000034,
+     0, 1.3496519693323128, 0.07749664694930869, 0.74626437553205105, 0.10808483820929946,
+     516ULL, 329ULL, 187ULL, 0ULL, 0ULL, 0ULL, 0ULL},
+    {"GE", 160, 28ULL, false, 1, 1.5, 4,
+     0.89924147692410628, 985.49508905379105, 0, 246.37377226344776,
+     143.61897127998796, 147.19079988423255, 150.00000000000003, 150.00000000000031,
+     0.32789861535385939, 1.8279118932589831, 0.28910038681140959, 0.65888145298504608, 0.45989594050198873,
+     610ULL, 249ULL, 361ULL, 0ULL, 126ULL, 40ULL, 86ULL},
+};
+
+TEST(ClusterRun, SingleServerGoldenBitIdentity) {
+  for (const GoldenCase& c : kGoldens) {
+    exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+    cfg.arrival_rate = c.rate;
+    cfg.duration = 4.0;
+    cfg.seed = c.seed;
+    cfg.discrete_speeds = c.discrete;
+    cfg.hetero_spread = c.hetero;
+    cfg.failure_time = c.failure_time;
+    cfg.failure_cores = c.failure_cores;
+    exp::SchedulerSpec spec = exp::SchedulerSpec::parse(c.sched);
+    if (spec.algo == exp::Algorithm::kBeP) {
+      spec.budget_scale = 0.8;
+    }
+    if (spec.algo == exp::Algorithm::kBeS) {
+      spec.speed_cap_ghz = 2.2;
+    }
+    const workload::Trace trace =
+        workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+    const exp::RunResult r = exp::run_simulation(cfg, spec, trace);
+
+    SCOPED_TRACE(std::string(c.sched) + " @ " + std::to_string(c.rate));
+    EXPECT_EQ(r.num_servers, 1u);
+    EXPECT_EQ(r.quality, c.quality);
+    EXPECT_EQ(r.energy, c.energy);
+    EXPECT_EQ(r.static_energy, c.static_energy);
+    EXPECT_EQ(r.avg_power, c.avg_power);
+    EXPECT_EQ(r.mean_response_ms, c.mean_ms);
+    EXPECT_EQ(r.p50_response_ms, c.p50_ms);
+    EXPECT_EQ(r.p95_response_ms, c.p95_ms);
+    EXPECT_EQ(r.p99_response_ms, c.p99_ms);
+    EXPECT_EQ(r.aes_fraction, c.aes_fraction);
+    EXPECT_EQ(r.avg_speed_ghz, c.avg_speed_ghz);
+    EXPECT_EQ(r.speed_variance, c.speed_variance);
+    EXPECT_EQ(r.busy_fraction, c.busy_fraction);
+    EXPECT_EQ(r.energy_cov, c.energy_cov);
+    EXPECT_EQ(r.released, c.released);
+    EXPECT_EQ(r.completed, c.completed);
+    EXPECT_EQ(r.partial, c.partial);
+    EXPECT_EQ(r.dropped, c.dropped);
+    EXPECT_EQ(r.rounds, c.rounds);
+    EXPECT_EQ(r.wf_rounds, c.wf_rounds);
+    EXPECT_EQ(r.es_rounds, c.es_rounds);
+  }
+}
+
+TEST(ClusterRun, HeterogeneousFleetRuns) {
+  exp::ExperimentConfig cfg = exp::ExperimentConfig::paper_defaults();
+  cfg.arrival_rate = 250.0;
+  cfg.duration = 2.0;
+  cfg.seed = 13;
+  cfg.num_servers = 2;
+  cfg.dispatch = DispatchPolicy::kJsq;
+  cfg.server_cores = {16, 8};
+  cfg.server_power_scale = {1.0, 1.5};
+  const exp::RunResult r =
+      exp::run_simulation(cfg, exp::SchedulerSpec::parse("GE"));
+  EXPECT_EQ(r.num_servers, 2u);
+  EXPECT_EQ(r.dispatch, "jsq");
+  EXPECT_GT(r.released, 0u);
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_GT(r.quality, 0.5);
+}
+
+}  // namespace
+}  // namespace ge::cluster

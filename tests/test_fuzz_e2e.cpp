@@ -12,14 +12,18 @@
 //    (docs/DETERMINISM.md);
 //
 // plus sanity invariants on every result: finite metrics, non-negative
-// energy, quality in [0, 1], and outcome counts that add up.  Seeds are
-// fixed, so any failure reproduces exactly.
+// energy, quality in [0, 1], and outcome counts that add up.  A second
+// batch of cases randomizes the cluster layer too (1-8 servers, every
+// dispatch policy, occasional heterogeneous fleets) and additionally
+// checks that the released total equals the sum of per-server dispatch
+// counters.  Seeds are fixed, so any failure reproduces exactly.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <string>
 #include <vector>
 
+#include "cluster/dispatcher.h"
 #include "exp/config.h"
 #include "exp/experiment_engine.h"
 #include "exp/runner.h"
@@ -78,10 +82,35 @@ FuzzCase make_fuzz_case(std::uint64_t seed) {
   return FuzzCase{cfg, SchedulerSpec::parse(sched)};
 }
 
+// Cluster variant: the same random single-server shape plus a random fleet
+// size and dispatch policy (servers == 1 exercises the forced-passthrough
+// path).  Occasionally the fleet is heterogeneous in cores and efficiency.
+FuzzCase make_cluster_fuzz_case(std::uint64_t seed) {
+  FuzzCase fc = make_fuzz_case(seed);
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  const std::size_t server_choices[] = {1, 2, 4, 8};
+  fc.cfg.num_servers = server_choices[rng.uniform_index(4)];
+  const cluster::DispatchPolicy policies[] = {
+      cluster::DispatchPolicy::kRandom, cluster::DispatchPolicy::kRoundRobin,
+      cluster::DispatchPolicy::kJsq, cluster::DispatchPolicy::kLeastEnergy};
+  fc.cfg.dispatch = policies[rng.uniform_index(4)];
+  if (fc.cfg.num_servers > 1 && rng.uniform_index(3) == 0) {
+    for (std::size_t s = 0; s < fc.cfg.num_servers; ++s) {
+      fc.cfg.server_cores.push_back(1 + rng.uniform_index(4));
+      fc.cfg.server_power_scale.push_back(rng.uniform(1.0, 2.0));
+    }
+  }
+  return fc;
+}
+
 void expect_identical(const RunResult& a, const RunResult& b,
                       const std::string& what) {
   SCOPED_TRACE(what);
   EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.num_servers, b.num_servers);
+  EXPECT_EQ(a.dispatch, b.dispatch);
+  EXPECT_EQ(a.server_energy_cov, b.server_energy_cov);
+  EXPECT_EQ(a.server_load_cov, b.server_load_cov);
   EXPECT_EQ(a.quality, b.quality);
   EXPECT_EQ(a.energy, b.energy);
   EXPECT_EQ(a.static_energy, b.static_energy);
@@ -155,6 +184,70 @@ TEST(FuzzEndToEnd, EngineParallelismBitIdenticalAcross200Configs) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     const std::string what =
         "task " + std::to_string(i) + " sched=" + serial[i].scheduler;
+    expect_sane(serial[i], what);
+    expect_identical(serial[i], parallel[i], what);
+  }
+}
+
+constexpr int kClusterFuzzCases = 100;
+
+TEST(FuzzEndToEnd, ClusterTelemetryOnOffBitIdenticalAcross100Configs) {
+  for (std::uint64_t seed = 1; seed <= kClusterFuzzCases; ++seed) {
+    const FuzzCase fc = make_cluster_fuzz_case(seed);
+    const workload::Trace trace =
+        workload::Trace::generate(fc.cfg.workload_spec(), fc.cfg.duration);
+    const RunResult plain = run_simulation(fc.cfg, fc.spec, trace);
+
+    obs::RunTelemetry telemetry;
+    telemetry.want_trace = seed % 2 == 0;  // alternate metrics-only / full
+    const RunResult instrumented =
+        run_simulation(fc.cfg, fc.spec, trace, nullptr, &telemetry);
+
+    const std::string what = "seed=" + std::to_string(seed) + " sched=" +
+                             plain.scheduler + " servers=" +
+                             std::to_string(fc.cfg.num_servers) + " dispatch=" +
+                             plain.dispatch;
+    expect_sane(plain, what);
+    expect_identical(plain, instrumented, what);
+
+    // Conservation across the dispatch tier: every released job lands on
+    // exactly one server, so the per-server dispatch counters sum to the
+    // released total (single-server runs keep the flat metric namespace
+    // and skip the per-server counters entirely).
+    SCOPED_TRACE(what);
+    EXPECT_EQ(instrumented.num_servers, fc.cfg.num_servers);
+    if (fc.cfg.num_servers > 1) {
+      double dispatched = 0.0;
+      for (std::size_t s = 0; s < fc.cfg.num_servers; ++s) {
+        const std::string prefix = "s" + std::to_string(s) + ".";
+        dispatched +=
+            telemetry.metrics.counter(prefix + "dispatched_jobs", "jobs")
+                .value();
+      }
+      EXPECT_EQ(dispatched, static_cast<double>(instrumented.released));
+    } else {
+      EXPECT_EQ(instrumented.dispatch, "single")
+          << "one-node clusters must force the passthrough dispatcher";
+    }
+  }
+}
+
+TEST(FuzzEndToEnd, ClusterEngineParallelismBitIdenticalAcross100Configs) {
+  ExperimentPlan plan;
+  for (std::uint64_t seed = 1; seed <= kClusterFuzzCases; ++seed) {
+    const FuzzCase fc = make_cluster_fuzz_case(seed);
+    plan.add_isolated(fc.cfg, fc.spec);
+  }
+  const std::vector<RunResult> serial =
+      run_plan(plan, ExecutionOptions{1, false, {}});
+  const std::vector<RunResult> parallel =
+      run_plan(plan, ExecutionOptions{4, false, {}});
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), static_cast<std::size_t>(kClusterFuzzCases));
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const std::string what = "task " + std::to_string(i) + " sched=" +
+                             serial[i].scheduler + " servers=" +
+                             std::to_string(serial[i].num_servers);
     expect_sane(serial[i], what);
     expect_identical(serial[i], parallel[i], what);
   }

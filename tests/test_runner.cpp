@@ -1,6 +1,9 @@
 // Tests for the experiment runner, scheduler specs, config and sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+
 #include "exp/calibrate.h"
 #include "exp/config.h"
 #include "exp/runner.h"
@@ -38,18 +41,27 @@ TEST(Config, DerivedQuantities) {
   EXPECT_NEAR(cfg.saturation_rate(), 32000.0 / cfg.mean_demand(), 1e-6);
 }
 
-TEST(SchedulerSpec, ParseRoundTrip) {
-  for (const char* name :
-       {"GE", "OQ", "BE", "BE-P", "BE-S", "FCFS", "FDFS", "LJF", "SJF",
-        "GE-NoComp", "GE-ES", "GE-WF"}) {
-    const SchedulerSpec spec = SchedulerSpec::parse(name);
-    // display_name for the parameterised specs includes the parameter;
-    // prefix match is the contract.
-    EXPECT_EQ(spec.display_name().rfind(SchedulerSpec::parse(name).display_name(), 0),
-              0u)
-        << name;
+TEST(SchedulerSpec, ParseRoundTripEveryAlgorithm) {
+  // Every Algorithm must round-trip display_name() -> parse(); adding an
+  // enum value without a parse() branch (or a stale doc comment's worth of
+  // names) fails here rather than at a bench command line.
+  for (Algorithm algo :
+       {Algorithm::kGe, Algorithm::kGeNoComp, Algorithm::kGeEs, Algorithm::kGeWf,
+        Algorithm::kGeRr, Algorithm::kOq, Algorithm::kBe, Algorithm::kBeP,
+        Algorithm::kBeS, Algorithm::kFcfs, Algorithm::kFdfs, Algorithm::kLjf,
+        Algorithm::kSjf}) {
+    SchedulerSpec spec;
+    spec.algo = algo;
+    const std::string name = spec.display_name();
+    ASSERT_NE(name, "unknown");
+    EXPECT_EQ(SchedulerSpec::parse(name).algo, algo) << name;
+    // Case-insensitive: the lowered name parses to the same algorithm.
+    std::string lowered = name;
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    EXPECT_EQ(SchedulerSpec::parse(lowered).algo, algo) << lowered;
   }
-  EXPECT_EQ(SchedulerSpec::parse("ge").algo, Algorithm::kGe);
+  EXPECT_EQ(SchedulerSpec::parse("GE-NC").algo, Algorithm::kGeNoComp);
   EXPECT_EQ(SchedulerSpec::parse("fcfs").algo, Algorithm::kFcfs);
 }
 

@@ -44,6 +44,8 @@ EVENT_FIELDS = {
                       "executed": (int, float), "demand": (int, float),
                       "quality": (int, float)},
     "core_offline": {"task": int, "t": (int, float), "core": int},
+    "dispatch": {"task": int, "t": (int, float), "job": int, "server": int,
+                 "in_flight": (int, float)},
 }
 
 METRIC_FIELDS = {

@@ -8,7 +8,8 @@
 //   ge_sweep --schedulers GE,BE,FCFS --rates 100,150,200 --seconds 30
 //            [--metric quality|energy|p99|aes|power] [--csv | --json]
 //            [--jobs N] [--trace F [--trace-format jsonl|chrome]]
-//            [--metrics F] [any ExperimentConfig flag, see exp/flags_config.h]
+//            [--metrics F] [--servers N --dispatch random|rr|jsq|least-energy]
+//            [any ExperimentConfig flag, see exp/flags_config.h]
 //
 // Full flag reference: docs/CLI.md; telemetry schema: docs/OBSERVABILITY.md.
 #include <cstdio>
