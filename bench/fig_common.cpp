@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include <unistd.h>
+#include "exp/flags_config.h"
 
 namespace ge::bench {
 
@@ -26,14 +26,7 @@ FigureContext parse_figure_args(int argc, const char* const* argv,
   ctx.base.server_max_ghz = flags.get_double_list("server-max-ghz", {});
   ctx.rates = flags.get_double_list("rates", std::move(default_rates));
   ctx.csv = flags.get_bool("csv", false);
-  ctx.exec.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
-  // Progress goes to stderr; default it on only for interactive runs so
-  // CI logs and `2> file` captures stay clean.
-  ctx.exec.progress = flags.get_bool("progress", isatty(STDERR_FILENO) != 0);
-  ctx.exec.telemetry.trace_path = flags.get_string("trace", "");
-  ctx.exec.telemetry.trace_format =
-      obs::parse_trace_format(flags.get_string("trace-format", "jsonl"));
-  ctx.exec.telemetry.metrics_path = flags.get_string("metrics", "");
+  ctx.exec = exp::parse_execution_options(flags);
   return ctx;
 }
 

@@ -14,6 +14,11 @@
 //   --trace-format jsonl|chrome   trace encoding (default jsonl; chrome
 //                  loads in Perfetto / about:tracing)
 //   --metrics F    write the merged metrics registry (JSON) to F
+//   --report DIR   write the derived-analysis report (report.md + CSVs,
+//                  schema ge-report-v1) to DIR
+//   --watchdog     online invariant watchdog (default: on when --report is)
+//   --profile      wall-clock self-profiling spans (prof.* metrics; off by
+//                  default because wall clocks are nondeterministic)
 //   --servers N    cluster size (default 1 = the paper's single server)
 //   --dispatch P   dispatch policy for N > 1: random | rr | jsq |
 //                  least-energy (default rr; see docs/CLUSTER.md)

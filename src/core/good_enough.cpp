@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/plan_rectifier.h"
+#include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "opt/energy_opt.h"
 #include "opt/job_cutter.h"
@@ -43,6 +44,9 @@ GoodEnoughScheduler::GoodEnoughScheduler(SchedulerEnv env, GoodEnoughOptions opt
   GE_CHECK(options_.quantum > 0.0, "quantum must be positive");
   GE_CHECK(options_.counter_threshold > 0, "counter threshold must be positive");
   mode_ = options_.cutting ? Mode::kAes : Mode::kBq;
+  if (obs::Telemetry* tel = env_.sim->telemetry(); tel != nullptr) {
+    prof_ = tel->profile;
+  }
   if (obs::Telemetry* tel = env_.sim->telemetry();
       tel != nullptr && tel->metrics != nullptr) {
     obs::MetricsRegistry& reg = *tel->metrics;
@@ -346,6 +350,7 @@ void GoodEnoughScheduler::schedule_round() {
     return;
   }
   in_round_ = true;
+  obs::ScopedTimer round_timer(prof_ != nullptr ? &prof_->ge_round : nullptr);
   const double t = now();
   ++rounds_;
   account_mode_time();
@@ -372,6 +377,14 @@ void GoodEnoughScheduler::schedule_round() {
       }
       job->core = static_cast<int>(c);
       env_.server->core(c).queue().push_back(job);
+      if (trace() != nullptr) {
+        obs::TraceEvent ev;
+        ev.type = obs::TraceEventType::kAssign;
+        ev.t = t;
+        ev.job = static_cast<std::int64_t>(job->id);
+        ev.core = job->core;
+        trace()->push(ev);
+      }
     }
     waiting_.clear();
   }
@@ -419,9 +432,12 @@ void GoodEnoughScheduler::schedule_round() {
     ev.c = static_cast<double>(rounds_);
     trace()->push(ev);
   }
-  for (std::size_t i = 0; i < m; ++i) {
-    if (env_.server->core(i).online()) {
-      set_targets(env_.server->core(i), mode_);
+  {
+    obs::ScopedTimer cut_timer(prof_ != nullptr ? &prof_->cut : nullptr);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (env_.server->core(i).online()) {
+        set_targets(env_.server->core(i), mode_);
+      }
     }
   }
   // Jobs that already hit their (possibly re-raised) target complete now.
@@ -435,7 +451,10 @@ void GoodEnoughScheduler::schedule_round() {
   }
 
   // 5. Power caps.
-  distribute_power();
+  {
+    obs::ScopedTimer dist_timer(prof_ != nullptr ? &prof_->power_dist : nullptr);
+    distribute_power();
+  }
   env_.server->check_caps(caps_);
   if (trace() != nullptr) {
     for (std::size_t i = 0; i < caps_.size(); ++i) {
@@ -466,9 +485,12 @@ void GoodEnoughScheduler::schedule_round() {
       return caps_[a] < caps_[b];
     });
   }
-  for (std::size_t idx : order_) {
-    if (env_.server->core(idx).online()) {
-      plan_core(env_.server->core(idx), caps_[idx], &slack);
+  {
+    obs::ScopedTimer plan_timer(prof_ != nullptr ? &prof_->plan : nullptr);
+    for (std::size_t idx : order_) {
+      if (env_.server->core(idx).online()) {
+        plan_core(env_.server->core(idx), caps_[idx], &slack);
+      }
     }
   }
   in_round_ = false;

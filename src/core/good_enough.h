@@ -38,6 +38,10 @@
 #include "power/discrete_speed.h"
 #include "power/distribution.h"
 
+namespace ge::obs {
+class Profiler;
+}  // namespace ge::obs
+
 namespace ge::sched {
 
 struct GoodEnoughOptions {
@@ -156,6 +160,8 @@ class GoodEnoughScheduler : public Scheduler {
   obs::Counter* m_plans_ = nullptr;
   obs::Counter* m_qopt_trims_ = nullptr;
   obs::Histogram* m_cut_level_ = nullptr;
+  // Wall-clock self-profiling spans (--profile); null when profiling is off.
+  obs::Profiler* prof_ = nullptr;
 };
 
 }  // namespace ge::sched

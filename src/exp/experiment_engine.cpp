@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 
+#include "cluster/cluster.h"
+#include "obs/analysis/report.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "workload/trace.h"
@@ -59,6 +61,17 @@ class ProgressMeter {
   double sim_seconds_ = 0.0;
 };
 
+obs::TraceTaskInfo task_info(std::size_t index, const RunTask& task) {
+  obs::TraceTaskInfo info;
+  info.task = index;
+  info.scheduler = task.spec.display_name();
+  info.arrival_rate = task.config.arrival_rate;
+  info.cores = task.config.cores;
+  info.power_budget = effective_budget(task.spec, task.config);
+  info.power_model_json = task.config.power_model().describe_json();
+  return info;
+}
+
 // Serialises the per-task telemetry in task order (the only order that keeps
 // the output independent of worker scheduling).
 void write_telemetry(const obs::TelemetryOptions& opts,
@@ -78,18 +91,34 @@ void write_telemetry(const obs::TelemetryOptions& opts,
     GE_CHECK(out.good(), "cannot open --trace output file");
     obs::TraceWriter writer(out, opts.trace_format);
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const RunTask& task = tasks[i];
-      obs::TraceTaskInfo info;
-      info.task = i;
-      info.scheduler = task.spec.display_name();
-      info.arrival_rate = task.config.arrival_rate;
-      info.cores = task.config.cores;
-      info.power_budget = effective_budget(task.spec, task.config);
-      info.power_model_json = task.config.power_model().describe_json();
-      writer.append_task(info, telem[i]->trace);
+      writer.append_task(task_info(i, tasks[i]), telem[i]->trace);
     }
     writer.close();
   }
+}
+
+// Renders the --report directory from the in-memory trace buffers.  Running
+// in-process, the analysis sees the exact per-core power models and the
+// exact energy accrual terms, so the residency-vs-reported cross-check holds
+// to 1e-9 relative (ReportOptions default); tasks are added in task order,
+// so report bytes inherit the engine's any---jobs determinism.
+void write_report(const std::string& dir, const std::vector<RunTask>& tasks,
+                  const std::vector<std::unique_ptr<obs::RunTelemetry>>& telem,
+                  const std::vector<RunResult>& results) {
+  obs::analysis::ReportWriter writer;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const RunTask& task = tasks[i];
+    obs::analysis::TaskInput input;
+    input.info = task_info(i, task);
+    input.buffer = &telem[i]->trace;
+    for (const cluster::NodeSpec& node :
+         task.config.cluster_node_specs(input.info.power_budget)) {
+      input.models.push_back(node.core_models);
+    }
+    input.reported_energy_j = results[i].energy;
+    writer.add_task(input);
+  }
+  writer.write_directory(dir);
 }
 
 }  // namespace
@@ -153,7 +182,15 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
       want_telemetry ? tasks.size() : 0);
   for (auto& t : telem) {
     t = std::make_unique<obs::RunTelemetry>();
-    t->want_trace = !options_.telemetry.trace_path.empty();
+    // Reports and the watchdog both consume trace events, so either implies
+    // event capture even when no --trace file was requested.
+    t->want_trace = !options_.telemetry.trace_path.empty() ||
+                    !options_.telemetry.report_dir.empty() ||
+                    options_.telemetry.watchdog;
+    t->want_watchdog = options_.telemetry.watchdog;
+    if (options_.telemetry.profile) {
+      t->enable_profiling();
+    }
   }
 
   auto run_task = [&](std::size_t i) {
@@ -186,6 +223,9 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
 
   if (want_telemetry) {
     write_telemetry(options_.telemetry, tasks, telem);
+    if (!options_.telemetry.report_dir.empty()) {
+      write_report(options_.telemetry.report_dir, tasks, telem, results);
+    }
   }
   return results;
 }

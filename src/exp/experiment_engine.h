@@ -66,11 +66,13 @@ struct ExecutionOptions {
   // to stderr while the plan runs (tables go to stdout, so progress never
   // contaminates captured output).
   bool progress = false;
-  // Telemetry outputs requested via --trace / --trace-format / --metrics.
-  // Each task records into its own RunTelemetry; after the plan finishes the
-  // engine merges metrics and serialises traces in task order, so telemetry
-  // files inherit the engine's determinism contract (byte-identical for any
-  // worker count).
+  // Telemetry outputs requested via --trace / --trace-format / --metrics /
+  // --report / --watchdog / --profile.  Each task records into its own
+  // RunTelemetry; after the plan finishes the engine merges metrics,
+  // serialises traces, and renders the --report directory in task order, so
+  // telemetry files inherit the engine's determinism contract
+  // (byte-identical for any worker count).  The one deliberate exception is
+  // --profile, whose prof.* wall-clock counters measure the host machine.
   obs::TelemetryOptions telemetry;
 };
 

@@ -1,5 +1,7 @@
 #include "exp/flags_config.h"
 
+#include <unistd.h>
+
 #include "util/check.h"
 
 namespace ge::exp {
@@ -73,6 +75,25 @@ ExperimentConfig apply_flags(ExperimentConfig cfg, const util::Flags& flags) {
       flags.get_double_list("server-power-scale", cfg.server_power_scale);
   cfg.server_max_ghz = flags.get_double_list("server-max-ghz", cfg.server_max_ghz);
   return cfg;
+}
+
+ExecutionOptions parse_execution_options(const util::Flags& flags) {
+  ExecutionOptions exec;
+  exec.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  // Progress goes to stderr; default it on only for interactive runs so CI
+  // logs and `2> file` captures stay clean.
+  exec.progress = flags.get_bool("progress", isatty(STDERR_FILENO) != 0);
+  exec.telemetry.trace_path = flags.get_string("trace", "");
+  exec.telemetry.trace_format =
+      obs::parse_trace_format(flags.get_string("trace-format", "jsonl"));
+  exec.telemetry.metrics_path = flags.get_string("metrics", "");
+  exec.telemetry.report_dir = flags.get_string("report", "");
+  // A report without the watchdog would silently drop the invariant section;
+  // opt out explicitly with --watchdog false if the overhead matters.
+  exec.telemetry.watchdog =
+      flags.get_bool("watchdog", !exec.telemetry.report_dir.empty());
+  exec.telemetry.profile = flags.get_bool("profile", false);
+  return exec;
 }
 
 }  // namespace ge::exp

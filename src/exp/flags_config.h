@@ -4,6 +4,7 @@
 #pragma once
 
 #include "exp/config.h"
+#include "exp/experiment_engine.h"
 #include "util/flags.h"
 
 namespace ge::exp {
@@ -18,5 +19,16 @@ namespace ge::exp {
 //   --monitor-window N --discrete [--step-ghz G --max-ghz G]
 //   --static-power W --failure-time S --failure-cores K --hetero-spread X
 ExperimentConfig apply_flags(ExperimentConfig cfg, const util::Flags& flags);
+
+// Parses the engine execution flags shared by every figure binary and
+// ge_sweep (previously duplicated in each):
+//   --jobs N --progress[=bool]
+//   --trace F --trace-format jsonl|chrome --metrics F
+//   --report DIR   derived-analysis report directory (docs/OBSERVABILITY.md)
+//   --watchdog     online invariant watchdog (default: on when --report is)
+//   --profile      wall-clock kernel self-profiling spans (nondeterministic
+//                  prof.* metrics; default off, keeping metrics files
+//                  byte-identical for any --jobs)
+ExecutionOptions parse_execution_options(const util::Flags& flags);
 
 }  // namespace ge::exp

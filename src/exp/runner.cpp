@@ -8,6 +8,8 @@
 
 #include "cluster/cluster.h"
 #include "core/good_enough.h"
+#include "obs/analysis/watchdog.h"
+#include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "quality/quality_function.h"
 #include "quality/quality_monitor.h"
@@ -70,6 +72,21 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
         return make_scheduler(spec, env, cfg, table);
       },
       cfg.dispatch, cfg.seed, sim);
+
+  // The watchdog observes the trace buffer live, re-deriving each invariant
+  // from the same events the analysis layer consumes; violations land in the
+  // buffer itself (as kViolation events) plus the watchdog.* counters.
+  std::unique_ptr<obs::analysis::Watchdog> watchdog;
+  if (telemetry != nullptr && telemetry->want_watchdog && trace_buf != nullptr) {
+    obs::analysis::WatchdogOptions wopts;
+    for (const cluster::NodeSpec& node : cfg.cluster_node_specs(budget)) {
+      wopts.models.push_back(node.core_models);
+      wopts.server_budgets_w.push_back(node.power_budget);
+    }
+    watchdog = std::make_unique<obs::analysis::Watchdog>(*trace_buf, wopts,
+                                                         &telemetry->metrics);
+    trace_buf->set_observer(watchdog.get());
+  }
 
   // Private, mutable copy of the trace; addresses are stable for the run.
   std::vector<workload::Job> jobs = trace.jobs();
@@ -142,9 +159,13 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     }
   }
 
-  cluster.start();
-  sim.run_until(horizon);
-  cluster.finish();
+  {
+    obs::ScopedTimer run_timer(
+        tel_view.profile != nullptr ? &tel_view.profile->sim_run : nullptr);
+    cluster.start();
+    sim.run_until(horizon);
+    cluster.finish();
+  }
 
   RunResult result;
   result.scheduler = cluster.node(0).scheduler().name();
@@ -174,6 +195,17 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
   }
   result.quality = potential > 0.0 ? achieved / potential : 1.0;
   result.energy = cluster.total_energy();
+
+  if (watchdog != nullptr) {
+    obs::analysis::Watchdog::Totals totals;
+    totals.released = result.released;
+    for (std::size_t s = 0; s < cluster.size(); ++s) {
+      totals.server_energy_j.push_back(cluster.node(s).server().total_energy());
+    }
+    watchdog->finish(sim.now(), totals);
+    trace_buf->set_observer(nullptr);
+  }
+
   result.static_energy = cfg.static_power_per_core *
                          static_cast<double>(cluster.total_cores()) * horizon;
   result.avg_power = cfg.duration > 0.0 ? result.energy / cfg.duration : 0.0;

@@ -1,0 +1,305 @@
+#include "obs/analysis/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/quantiles.h"
+
+namespace ge::obs::analysis {
+namespace {
+
+// Same completion tolerance as exp::run_simulation, so the outcome split in
+// a report matches the RunResult counts.
+constexpr double kCompleteTol = 1e-6;
+
+// Residency bin of a speed in GHz; the epsilon keeps exact bin boundaries
+// (common with discrete DVFS ladders: 0.2 GHz steps on 0.2 GHz bins) from
+// flapping down a bin on floating-point noise.
+std::int32_t speed_bin(double ghz, double width) {
+  return static_cast<std::int32_t>(std::floor(ghz / width + 1e-9));
+}
+
+PhaseStats phase_stats(const util::QuantileCollector& samples) {
+  PhaseStats stats;
+  stats.count = samples.count();
+  if (stats.count > 0) {
+    stats.mean_ms = samples.mean();
+    stats.p50_ms = samples.quantile(0.50);
+    stats.p95_ms = samples.quantile(0.95);
+    stats.p99_ms = samples.quantile(0.99);
+  }
+  return stats;
+}
+
+// Per-core accumulator.  busy/energy are folded strictly in event order --
+// the same addition sequence the simulated core used -- so the totals are
+// bit-identical to Core::energy() (and their server-major sum to
+// Cluster::total_energy()) when the models are exact.
+struct CoreAcc {
+  std::map<std::int32_t, ResidencyBin> bins;
+  double busy_s = 0.0;
+  double energy_j = 0.0;
+};
+
+}  // namespace
+
+TaskAnalysis analyze_task(const TaskInput& input, const AnalysisOptions& options) {
+  GE_CHECK(input.buffer != nullptr, "analyze_task: null trace buffer");
+  GE_CHECK(options.speed_bin_ghz > 0.0, "speed_bin_ghz must be positive");
+  GE_CHECK(options.timeline_bins > 0, "timeline_bins must be positive");
+
+  TaskAnalysis out;
+  out.info = input.info;
+  out.reported_energy_j = input.reported_energy_j;
+
+  const std::vector<TraceEvent>& events = input.buffer->events();
+  const bool exact_models = !input.models.empty();
+
+  // --- pass 1: job spans, residency, counters --------------------------------
+  std::unordered_map<std::int64_t, std::size_t> job_index;
+  auto job_of = [&](std::int64_t id) -> JobSpan& {
+    auto [it, inserted] = job_index.try_emplace(id, out.jobs.size());
+    if (inserted) {
+      out.jobs.emplace_back();
+      out.jobs.back().id = id;
+    }
+    return out.jobs[it->second];
+  };
+
+  std::map<std::pair<std::int32_t, std::int32_t>, CoreAcc> cores;
+  double t_max = 0.0;
+  std::size_t max_server = 0;
+
+  for (const TraceEvent& ev : events) {
+    t_max = std::max(t_max, std::max(ev.t, ev.t2));
+    switch (ev.type) {
+      case TraceEventType::kArrival: {
+        JobSpan& job = job_of(ev.job);
+        job.arrival = ev.t;
+        job.demand = ev.a;
+        job.deadline = ev.b;
+        break;
+      }
+      case TraceEventType::kDispatch: {
+        JobSpan& job = job_of(ev.job);
+        job.server = ev.core;  // server index rides in the core field
+        max_server = std::max(max_server, static_cast<std::size_t>(ev.core));
+        break;
+      }
+      case TraceEventType::kAssign: {
+        JobSpan& job = job_of(ev.job);
+        if (job.assigned < 0.0) {
+          job.assigned = ev.t;
+          job.core = ev.core;
+        }
+        break;
+      }
+      case TraceEventType::kExec: {
+        JobSpan& job = job_of(ev.job);
+        if (job.first_exec < 0.0) {
+          job.first_exec = ev.t;
+        }
+        const std::int32_t server = job.server;
+        const power::PowerModel& pm =
+            exact_models ? input.models.at(static_cast<std::size_t>(server))
+                              .at(static_cast<std::size_t>(ev.core))
+                         : input.fallback_model;
+        const double dt = ev.t2 - ev.t;
+        // The exact term Core::advance_to accumulated for this slice.
+        const double energy = pm.power(ev.a) * dt;
+        job.energy_j += energy;
+        CoreAcc& acc = cores[{server, ev.core}];
+        acc.busy_s += dt;
+        acc.energy_j += energy;
+        ResidencyBin& bin =
+            acc.bins
+                .try_emplace(speed_bin(pm.ghz(ev.a), options.speed_bin_ghz))
+                .first->second;
+        bin.busy_s += dt;
+        bin.energy_j += energy;
+        break;
+      }
+      case TraceEventType::kCompletion:
+      case TraceEventType::kDeadlineMiss: {
+        JobSpan& job = job_of(ev.job);
+        job.settled = ev.t;
+        job.executed = ev.a;
+        if (ev.b > 0.0) {
+          job.demand = ev.b;
+        }
+        job.missed = ev.type == TraceEventType::kDeadlineMiss;
+        break;
+      }
+      case TraceEventType::kRound:
+        ++out.rounds;
+        break;
+      case TraceEventType::kModeSwitch:
+        ++out.mode_switches;
+        break;
+      case TraceEventType::kCut:
+        ++out.cuts;
+        break;
+      case TraceEventType::kViolation:
+        out.violations.push_back(ev);
+        break;
+      default:
+        break;
+    }
+  }
+
+  out.num_servers = exact_models ? input.models.size() : max_server + 1;
+
+  // --- job tallies and phase stats -------------------------------------------
+  util::QuantileCollector wait, service, response, slack;
+  for (const JobSpan& job : out.jobs) {
+    ++out.released;
+    if (job.executed >= job.demand - kCompleteTol) {
+      ++out.completed;
+    } else if (job.executed > kCompleteTol) {
+      ++out.partial;
+    } else {
+      ++out.dropped;
+    }
+    if (job.missed) {
+      ++out.missed;
+    }
+    if (job.wait_ms() >= 0.0) wait.add(job.wait_ms());
+    if (job.service_ms() >= 0.0) service.add(job.service_ms());
+    if (job.response_ms() >= 0.0) response.add(job.response_ms());
+    if (job.slack_ms() >= 0.0) slack.add(job.slack_ms());
+  }
+  out.wait = phase_stats(wait);
+  out.service = phase_stats(service);
+  out.response = phase_stats(response);
+  out.slack = phase_stats(slack);
+
+  // --- residency and the energy identity -------------------------------------
+  out.server_energy_j.assign(out.num_servers, 0.0);
+  for (const auto& [key, acc] : cores) {
+    CoreResidency residency;
+    residency.server = key.first;
+    residency.core = key.second;
+    residency.busy_s = acc.busy_s;
+    residency.energy_j = acc.energy_j;
+    residency.bins.reserve(acc.bins.size());
+    for (const auto& [bin, data] : acc.bins) {
+      ResidencyBin entry = data;
+      entry.bin = bin;
+      residency.bins.push_back(entry);
+    }
+    // cores is (server, core)-sorted, so each per-server sum visits cores in
+    // exactly the order MulticoreServer::total_energy() does (idle cores
+    // contribute +0.0, which is additively exact).
+    if (static_cast<std::size_t>(key.first) < out.server_energy_j.size()) {
+      out.server_energy_j[static_cast<std::size_t>(key.first)] += acc.energy_j;
+    } else {
+      out.integrated_energy_j += acc.energy_j;  // malformed server id
+    }
+    out.residency.push_back(std::move(residency));
+  }
+  // Sum per-server subtotals, matching Cluster::total_energy()'s grouping --
+  // a flat core sum would differ in the last ulp on multi-server runs.
+  for (const double server_energy : out.server_energy_j) {
+    out.integrated_energy_j += server_energy;
+  }
+  if (out.reported_energy_j >= 0.0) {
+    const double diff = std::abs(out.integrated_energy_j - out.reported_energy_j);
+    out.energy_rel_err =
+        out.reported_energy_j > 0.0 ? diff / out.reported_energy_j : diff;
+  }
+
+  // --- per-server dispatch tallies -------------------------------------------
+  out.dispatched.assign(out.num_servers, 0);
+  for (const TraceEvent& ev : events) {
+    if (ev.type == TraceEventType::kDispatch) {
+      const auto server = static_cast<std::size_t>(ev.core);
+      GE_CHECK(server < out.num_servers, "dispatch event names an unknown server");
+      ++out.dispatched[server];
+    }
+  }
+  if (out.num_servers == 1) {
+    // Single-server runs skip dispatch events; everything lands on server 0.
+    out.dispatched[0] = out.released;
+  }
+
+  // --- timelines --------------------------------------------------------------
+  const std::size_t bins = options.timeline_bins;
+  out.bin_width = t_max > 0.0 ? t_max / static_cast<double>(bins) : 1.0;
+  out.bin_end.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    out.bin_end[i] = out.bin_width * static_cast<double>(i + 1);
+  }
+  out.timelines.resize(out.num_servers);
+  for (std::size_t s = 0; s < out.num_servers; ++s) {
+    ServerTimeline& tl = out.timelines[s];
+    tl.server = static_cast<std::int32_t>(s);
+    tl.waiting.assign(bins, 0.0);
+    tl.in_flight.assign(bins, 0.0);
+    tl.busy_cores.assign(bins, 0.0);
+    tl.power_w.assign(bins, 0.0);
+  }
+
+  auto bin_of = [&](double t) {
+    const auto i = static_cast<std::size_t>(std::max(t, 0.0) / out.bin_width);
+    return std::min(i, bins - 1);
+  };
+  for (const TraceEvent& ev : events) {
+    if (ev.type != TraceEventType::kExec || ev.t2 <= ev.t) {
+      continue;
+    }
+    const JobSpan& job = out.jobs[job_index.at(ev.job)];
+    ServerTimeline& tl = out.timelines[static_cast<std::size_t>(job.server)];
+    const power::PowerModel& pm =
+        exact_models ? input.models[static_cast<std::size_t>(job.server)]
+                                   [static_cast<std::size_t>(ev.core)]
+                     : input.fallback_model;
+    const double watts = pm.power(ev.a);
+    for (std::size_t i = bin_of(ev.t); i <= bin_of(ev.t2); ++i) {
+      const double lo = std::max(ev.t, out.bin_end[i] - out.bin_width);
+      const double hi = std::min(ev.t2, out.bin_end[i]);
+      if (hi > lo) {
+        tl.busy_cores[i] += hi - lo;
+        tl.power_w[i] += watts * (hi - lo);
+      }
+    }
+  }
+  for (ServerTimeline& tl : out.timelines) {
+    for (std::size_t i = 0; i < bins; ++i) {
+      tl.busy_cores[i] /= out.bin_width;
+      tl.power_w[i] /= out.bin_width;
+    }
+  }
+  // Queue lengths are sampled at each bin-end instant: a job waits from
+  // release until admission (or settlement, if never admitted) and is in
+  // flight from release until settlement.
+  for (const JobSpan& job : out.jobs) {
+    if (job.arrival < 0.0) {
+      continue;
+    }
+    ServerTimeline& tl = out.timelines[static_cast<std::size_t>(job.server)];
+    const double wait_end = job.assigned >= 0.0
+                                ? job.assigned
+                                : (job.settled >= 0.0 ? job.settled : t_max + 1.0);
+    const double flight_end = job.settled >= 0.0 ? job.settled : t_max + 1.0;
+    for (std::size_t i = bin_of(job.arrival); i < bins; ++i) {
+      const double te = out.bin_end[i];
+      if (te >= flight_end) {
+        break;
+      }
+      if (te >= job.arrival) {
+        tl.in_flight[i] += 1.0;
+        if (te < wait_end) {
+          tl.waiting[i] += 1.0;
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ge::obs::analysis

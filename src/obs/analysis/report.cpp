@@ -1,0 +1,210 @@
+#include "obs/analysis/report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "util/check.h"
+
+namespace ge::obs::analysis {
+namespace {
+
+// Same formatting as the trace writer: enough digits to round-trip almost
+// exactly, and identical bytes for identical doubles.
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+// Fixed-precision rendering for the human-facing Markdown tables.
+std::string fixed(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+void phase_row(std::ostream& out, const char* name, const PhaseStats& stats) {
+  out << "| " << name << " | " << stats.count << " | " << fixed(stats.mean_ms, 2)
+      << " | " << fixed(stats.p50_ms, 2) << " | " << fixed(stats.p95_ms, 2)
+      << " | " << fixed(stats.p99_ms, 2) << " |\n";
+}
+
+const char* outcome_name(const JobSpan& job) {
+  constexpr double kCompleteTol = 1e-6;  // matches analysis.cpp / the runner
+  if (job.executed >= job.demand - kCompleteTol) {
+    return "completed";
+  }
+  return job.executed > kCompleteTol ? "partial" : "dropped";
+}
+
+}  // namespace
+
+ReportWriter::ReportWriter(ReportOptions options) : options_(options) {}
+
+void ReportWriter::add_task(const TaskInput& input) {
+  tasks_.push_back(analyze_task(input, options_));
+}
+
+void ReportWriter::write_markdown(std::ostream& out) const {
+  out << "# goodenough run report\n\n";
+  out << "schema: ge-report-v1 | tasks: " << tasks_.size() << "\n";
+
+  for (const TaskAnalysis& task : tasks_) {
+    out << "\n## task " << task.info.task << " — " << task.info.scheduler
+        << " @ " << fmt(task.info.arrival_rate) << " req/s\n\n";
+    out << "- config: " << task.num_servers << " server(s), "
+        << task.info.cores << " cores/server, budget "
+        << fmt(task.info.power_budget) << " W, power model "
+        << task.info.power_model_json << "\n";
+    out << "- jobs: " << task.released << " released = " << task.completed
+        << " completed + " << task.partial << " partial + " << task.dropped
+        << " dropped (" << task.missed << " deadline misses)\n";
+    out << "- scheduling: " << task.rounds << " rounds, " << task.mode_switches
+        << " mode switches, " << task.cuts << " cuts\n";
+    out << "- energy: integrated " << fmt(task.integrated_energy_j) << " J";
+    if (task.reported_energy_j >= 0.0) {
+      out << " vs reported " << fmt(task.reported_energy_j) << " J (rel err "
+          << fmt(task.energy_rel_err) << ") — "
+          << (task.energy_rel_err <= options_.energy_rel_tol ? "OK" : "MISMATCH")
+          << "\n";
+    } else {
+      out << " (no reported total to cross-check)\n";
+    }
+
+    out << "\n### lifecycle (ms)\n\n";
+    out << "| phase | jobs | mean | p50 | p95 | p99 |\n";
+    out << "|---|---:|---:|---:|---:|---:|\n";
+    phase_row(out, "wait (release -> admission)", task.wait);
+    phase_row(out, "service (first slice -> settled)", task.service);
+    phase_row(out, "response (release -> settled)", task.response);
+    phase_row(out, "slack (settled -> deadline)", task.slack);
+
+    // Aggregate the per-core residency over the fleet for the overview
+    // table; per-core rows live in residency.csv.
+    std::map<std::int32_t, ResidencyBin> fleet;
+    double total_busy = 0.0;
+    for (const CoreResidency& core : task.residency) {
+      total_busy += core.busy_s;
+      for (const ResidencyBin& bin : core.bins) {
+        ResidencyBin& agg = fleet.try_emplace(bin.bin).first->second;
+        agg.busy_s += bin.busy_s;
+        agg.energy_j += bin.energy_j;
+      }
+    }
+    out << "\n### speed residency (" << fmt(options_.speed_bin_ghz)
+        << " GHz bins, all cores)\n\n";
+    out << "| GHz | busy core-s | share | energy J |\n";
+    out << "|---|---:|---:|---:|\n";
+    for (const auto& [bin, agg] : fleet) {
+      const double lo = static_cast<double>(bin) * options_.speed_bin_ghz;
+      out << "| " << fixed(lo, 2) << "–"
+          << fixed(lo + options_.speed_bin_ghz, 2) << " | "
+          << fixed(agg.busy_s, 3) << " | "
+          << fixed(total_busy > 0.0 ? 100.0 * agg.busy_s / total_busy : 0.0, 1)
+          << "% | " << fixed(agg.energy_j, 3) << " |\n";
+    }
+
+    if (task.num_servers > 1) {
+      out << "\n### servers\n\n";
+      out << "| server | dispatched | energy J |\n";
+      out << "|---:|---:|---:|\n";
+      for (std::size_t s = 0; s < task.num_servers; ++s) {
+        out << "| " << s << " | " << task.dispatched[s] << " | "
+            << fixed(task.server_energy_j[s], 3) << " |\n";
+      }
+    }
+
+    out << "\n### watchdog\n\n";
+    if (task.violations.empty()) {
+      out << "no violations recorded\n";
+    } else {
+      out << "| t | check | observed | expected |\n";
+      out << "|---:|---|---:|---:|\n";
+      for (const TraceEvent& ev : task.violations) {
+        out << "| " << fmt(ev.t) << " | " << violation_check_name(ev.mode)
+            << " | " << fmt(ev.a) << " | " << fmt(ev.b) << " |\n";
+      }
+    }
+  }
+}
+
+void ReportWriter::write_summary_csv(std::ostream& out) const {
+  out << "task,scheduler,arrival_rate,servers,cores,released,completed,partial,"
+         "dropped,missed,rounds,mode_switches,cuts,violations,"
+         "integrated_energy_j,reported_energy_j,energy_rel_err,"
+         "mean_response_ms,p99_response_ms\n";
+  for (const TaskAnalysis& task : tasks_) {
+    out << task.info.task << "," << task.info.scheduler << ","
+        << fmt(task.info.arrival_rate) << "," << task.num_servers << ","
+        << task.info.cores << "," << task.released << "," << task.completed
+        << "," << task.partial << "," << task.dropped << "," << task.missed
+        << "," << task.rounds << "," << task.mode_switches << "," << task.cuts
+        << "," << task.violations.size() << "," << fmt(task.integrated_energy_j)
+        << "," << fmt(task.reported_energy_j) << "," << fmt(task.energy_rel_err)
+        << "," << fmt(task.response.mean_ms) << "," << fmt(task.response.p99_ms)
+        << "\n";
+  }
+}
+
+void ReportWriter::write_jobs_csv(std::ostream& out) const {
+  out << "task,job,server,core,arrival_s,assigned_s,first_exec_s,settled_s,"
+         "deadline_s,demand_units,executed_units,energy_j,wait_ms,service_ms,"
+         "response_ms,slack_ms,outcome,missed\n";
+  for (const TaskAnalysis& task : tasks_) {
+    for (const JobSpan& job : task.jobs) {
+      out << task.info.task << "," << job.id << "," << job.server << ","
+          << job.core << "," << fmt(job.arrival) << "," << fmt(job.assigned)
+          << "," << fmt(job.first_exec) << "," << fmt(job.settled) << ","
+          << fmt(job.deadline) << "," << fmt(job.demand) << ","
+          << fmt(job.executed) << "," << fmt(job.energy_j) << ","
+          << fmt(job.wait_ms()) << "," << fmt(job.service_ms()) << ","
+          << fmt(job.response_ms()) << "," << fmt(job.slack_ms()) << ","
+          << outcome_name(job) << "," << (job.missed ? 1 : 0) << "\n";
+    }
+  }
+}
+
+void ReportWriter::write_residency_csv(std::ostream& out) const {
+  out << "task,server,core,ghz_lo,ghz_hi,busy_s,energy_j\n";
+  for (const TaskAnalysis& task : tasks_) {
+    for (const CoreResidency& core : task.residency) {
+      for (const ResidencyBin& bin : core.bins) {
+        const double lo = static_cast<double>(bin.bin) * options_.speed_bin_ghz;
+        out << task.info.task << "," << core.server << "," << core.core << ","
+            << fmt(lo) << "," << fmt(lo + options_.speed_bin_ghz) << ","
+            << fmt(bin.busy_s) << "," << fmt(bin.energy_j) << "\n";
+      }
+    }
+  }
+}
+
+void ReportWriter::write_timeline_csv(std::ostream& out) const {
+  out << "task,server,t_s,waiting,in_flight,busy_cores,power_w\n";
+  for (const TaskAnalysis& task : tasks_) {
+    for (const ServerTimeline& tl : task.timelines) {
+      for (std::size_t i = 0; i < task.bin_end.size(); ++i) {
+        out << task.info.task << "," << tl.server << "," << fmt(task.bin_end[i])
+            << "," << fmt(tl.waiting[i]) << "," << fmt(tl.in_flight[i]) << ","
+            << fmt(tl.busy_cores[i]) << "," << fmt(tl.power_w[i]) << "\n";
+      }
+    }
+  }
+}
+
+void ReportWriter::write_directory(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const char* name, auto&& render) {
+    std::ofstream out(std::filesystem::path(dir) / name);
+    GE_CHECK(out.good(), "cannot open report output file");
+    render(out);
+  };
+  write("report.md", [&](std::ostream& o) { write_markdown(o); });
+  write("summary.csv", [&](std::ostream& o) { write_summary_csv(o); });
+  write("jobs.csv", [&](std::ostream& o) { write_jobs_csv(o); });
+  write("residency.csv", [&](std::ostream& o) { write_residency_csv(o); });
+  write("timeline.csv", [&](std::ostream& o) { write_timeline_csv(o); });
+}
+
+}  // namespace ge::obs::analysis

@@ -1,0 +1,357 @@
+#include "obs/analysis/trace_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <iterator>
+#include <string_view>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ge::obs::analysis {
+namespace {
+
+// ---- minimal JSON subset parser ---------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // file order
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  // Required typed accessors; checked errors keep schema drift loud.
+  double num(std::string_view key) const {
+    const JsonValue* v = find(key);
+    GE_CHECK(v != nullptr && v->kind == Kind::kNumber,
+             "trace/metrics JSON: missing numeric field");
+    return v->number;
+  }
+  const std::string& str(std::string_view key) const {
+    const JsonValue* v = find(key);
+    GE_CHECK(v != nullptr && v->kind == Kind::kString,
+             "trace/metrics JSON: missing string field");
+    return v->string;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    GE_CHECK(pos_ == text_.size(), "JSON: trailing characters");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    GE_CHECK(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    GE_CHECK(peek() == ch, "JSON: unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue value;
+    switch (peek()) {
+      case '{': {
+        value.kind = JsonValue::Kind::kObject;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+          expect('}');
+          return value;
+        }
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          value.object.emplace_back(std::move(key), parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            expect(',');
+            continue;
+          }
+          expect('}');
+          return value;
+        }
+      }
+      case '[': {
+        value.kind = JsonValue::Kind::kArray;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+          expect(']');
+          return value;
+        }
+        while (true) {
+          value.array.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            expect(',');
+            continue;
+          }
+          expect(']');
+          return value;
+        }
+      }
+      case '"':
+        value.kind = JsonValue::Kind::kString;
+        value.string = parse_string();
+        return value;
+      case 't':
+        GE_CHECK(consume_literal("true"), "JSON: bad literal");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        GE_CHECK(consume_literal("false"), "JSON: bad literal");
+        value.kind = JsonValue::Kind::kBool;
+        return value;
+      case 'n':
+        GE_CHECK(consume_literal("null"), "JSON: bad literal");
+        return value;
+      default:
+        value.kind = JsonValue::Kind::kNumber;
+        value.number = parse_number();
+        return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      GE_CHECK(pos_ < text_.size(), "JSON: unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') {
+        return out;
+      }
+      if (ch == '\\') {
+        GE_CHECK(pos_ < text_.size(), "JSON: unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default:
+            GE_CHECK(false, "JSON: unsupported escape sequence");
+        }
+        continue;
+      }
+      out.push_back(ch);
+    }
+  }
+
+  double parse_number() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    GE_CHECK(end != begin, "JSON: expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+int parse_mode(const std::string& name) {
+  if (name == "AES") return kModeAes;
+  if (name == "BQ") return kModeBq;
+  return -1;
+}
+
+std::int32_t parse_check(const std::string& name) {
+  for (std::int32_t check = 0;; ++check) {
+    const char* known = violation_check_name(check);
+    if (std::string_view(known) == "?") {
+      GE_CHECK(false, "trace JSONL: unknown violation check name");
+    }
+    if (name == known) {
+      return check;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ParsedTask> read_trace_jsonl(std::istream& in) {
+  std::vector<ParsedTask> tasks;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    const JsonValue record = JsonParser(line).parse();
+    GE_CHECK(record.kind == JsonValue::Kind::kObject,
+             "trace JSONL: every line must be an object");
+    const std::string& kind = record.str("ev");
+    if (kind == "meta") {
+      ParsedTask task;
+      task.info.task = static_cast<std::size_t>(record.num("task"));
+      task.info.scheduler = record.str("scheduler");
+      task.info.arrival_rate = record.num("arrival_rate");
+      task.info.cores = static_cast<std::size_t>(record.num("cores"));
+      task.info.power_budget = record.num("power_budget_w");
+      const JsonValue* pm = record.find("power_model");
+      GE_CHECK(pm != nullptr && pm->kind == JsonValue::Kind::kObject,
+               "trace JSONL: meta record lacks a power_model object");
+      task.model = power::PowerModel(pm->num("a"), pm->num("beta"),
+                                     pm->num("units_per_ghz"));
+      task.info.power_model_json = task.model.describe_json();
+      GE_CHECK(task.info.task == tasks.size(),
+               "trace JSONL: meta records out of order");
+      tasks.push_back(std::move(task));
+      continue;
+    }
+    GE_CHECK(!tasks.empty(), "trace JSONL: event before the first meta record");
+    GE_CHECK(static_cast<std::size_t>(record.num("task")) == tasks.size() - 1,
+             "trace JSONL: event names a task other than the current one");
+    TraceEvent ev;
+    ev.t = record.num("t");
+    if (kind == "arrival") {
+      ev.type = TraceEventType::kArrival;
+      ev.job = static_cast<std::int64_t>(record.num("job"));
+      ev.a = record.num("demand");
+      ev.b = record.num("deadline");
+    } else if (kind == "round") {
+      ev.type = TraceEventType::kRound;
+      ev.mode = parse_mode(record.str("mode"));
+      ev.a = record.num("waiting");
+      ev.b = record.num("rate");
+      ev.c = record.num("round");
+    } else if (kind == "mode") {
+      ev.type = TraceEventType::kModeSwitch;
+      ev.mode = parse_mode(record.str("mode"));
+      ev.a = record.num("quality");
+    } else if (kind == "cut") {
+      ev.type = TraceEventType::kCut;
+      ev.core = static_cast<std::int32_t>(record.num("core"));
+      ev.a = record.num("jobs");
+      ev.b = record.num("level");
+      ev.c = record.num("target_units");
+    } else if (kind == "cap") {
+      ev.type = TraceEventType::kCap;
+      ev.core = static_cast<std::int32_t>(record.num("core"));
+      ev.a = record.num("watts");
+    } else if (kind == "exec") {
+      ev.type = TraceEventType::kExec;
+      ev.t2 = record.num("t_end");
+      ev.core = static_cast<std::int32_t>(record.num("core"));
+      ev.job = static_cast<std::int64_t>(record.num("job"));
+      ev.a = record.num("speed");
+    } else if (kind == "completion" || kind == "deadline_miss") {
+      ev.type = kind == "completion" ? TraceEventType::kCompletion
+                                     : TraceEventType::kDeadlineMiss;
+      ev.core = static_cast<std::int32_t>(record.num("core"));
+      ev.job = static_cast<std::int64_t>(record.num("job"));
+      ev.a = record.num("executed");
+      ev.b = record.num("demand");
+      ev.c = record.num("quality");
+    } else if (kind == "core_offline") {
+      ev.type = TraceEventType::kCoreOffline;
+      ev.core = static_cast<std::int32_t>(record.num("core"));
+    } else if (kind == "dispatch") {
+      ev.type = TraceEventType::kDispatch;
+      ev.job = static_cast<std::int64_t>(record.num("job"));
+      ev.core = static_cast<std::int32_t>(record.num("server"));
+      ev.a = record.num("in_flight");
+    } else if (kind == "assign") {
+      ev.type = TraceEventType::kAssign;
+      ev.job = static_cast<std::int64_t>(record.num("job"));
+      ev.core = static_cast<std::int32_t>(record.num("core"));
+    } else if (kind == "violation") {
+      ev.type = TraceEventType::kViolation;
+      ev.mode = parse_check(record.str("check"));
+      ev.a = record.num("observed");
+      ev.b = record.num("expected");
+    } else {
+      GE_CHECK(false, "trace JSONL: unknown event kind");
+    }
+    tasks.back().buffer.push(ev);
+  }
+  return tasks;
+}
+
+double MetricsValues::get(const std::string& name, double fallback) const {
+  for (const auto& [key, value] : values) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+bool MetricsValues::has(const std::string& name) const {
+  for (const auto& [key, value] : values) {
+    if (key == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MetricsValues read_metrics_json(std::istream& in) {
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const JsonValue root = JsonParser(text).parse();
+  GE_CHECK(root.kind == JsonValue::Kind::kObject &&
+               root.str("schema") == "goodenough-metrics-v1",
+           "metrics JSON: unexpected schema");
+  const JsonValue* metrics = root.find("metrics");
+  GE_CHECK(metrics != nullptr && metrics->kind == JsonValue::Kind::kArray,
+           "metrics JSON: missing metrics array");
+  MetricsValues out;
+  for (const JsonValue& entry : metrics->array) {
+    const std::string& name = entry.str("name");
+    const std::string& type = entry.str("type");
+    if (type == "histogram") {
+      out.values.emplace_back(name + ".count", entry.num("count"));
+      out.values.emplace_back(name + ".sum", entry.num("sum"));
+    } else {
+      out.values.emplace_back(name, entry.num("value"));
+    }
+  }
+  return out;
+}
+
+}  // namespace ge::obs::analysis

@@ -1,0 +1,87 @@
+// Wall-clock self-profiling for the simulator's hot kernels.
+//
+// A Profiler owns one Span per instrumented phase; a Span is a pair of
+// counters in the run's MetricsRegistry (prof.<phase>_ns / prof.<phase>_calls)
+// so the numbers travel through the existing merge/serialise machinery and
+// land in the --metrics file next to everything else.  ScopedTimer charges
+// the enclosing block to a span and is a no-op on a null span, so call sites
+// pay one pointer test when profiling is off -- the same cost model as every
+// other telemetry hook (see telemetry.h).
+//
+// The measured phases map onto the four optimised kernels of
+// docs/BENCHMARKS.md: ge_round (one whole GE scheduling round), cut
+// (Longest-First target setting), power_dist (cap distribution), plan
+// (Quality-OPT + Energy-OPT core planning), plus sim_run (the entire event
+// loop, the denominator for the others).
+//
+// Wall-clock readings are inherently nondeterministic, which is why
+// profiling is opt-in (--profile): with it off, metrics files keep the
+// byte-identical-for-any---jobs contract.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ge::obs {
+
+class Profiler {
+ public:
+  struct Span {
+    Counter* wall_ns = nullptr;
+    Counter* calls = nullptr;
+  };
+
+  // Creates the prof.* counters in `registry`; call before the run starts so
+  // they hold a stable slot in the creation-order output.
+  explicit Profiler(MetricsRegistry& registry)
+      : ge_round(make(registry, "ge_round")),
+        cut(make(registry, "cut")),
+        power_dist(make(registry, "power_dist")),
+        plan(make(registry, "plan")),
+        sim_run(make(registry, "sim_run")) {}
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  Span ge_round;
+  Span cut;
+  Span power_dist;
+  Span plan;
+  Span sim_run;
+
+ private:
+  static Span make(MetricsRegistry& registry, const std::string& phase) {
+    return Span{&registry.counter("prof." + phase + "_ns", "ns"),
+                &registry.counter("prof." + phase + "_calls", "calls")};
+  }
+};
+
+// Charges the time from construction to destruction to `span`; null = no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Profiler::Span* span) : span_(span) {
+    if (span_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedTimer() {
+    if (span_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      span_->wall_ns->add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+      span_->calls->increment();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const Profiler::Span* span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ge::obs

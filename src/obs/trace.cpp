@@ -37,6 +37,19 @@ std::string escape(const std::string& text) {
 
 }  // namespace
 
+const char* violation_check_name(std::int32_t check) noexcept {
+  switch (static_cast<ViolationCheck>(check)) {
+    case ViolationCheck::kMonotoneClock: return "monotone_clock";
+    case ViolationCheck::kExecSpan: return "exec_span";
+    case ViolationCheck::kJobOverrun: return "job_overrun";
+    case ViolationCheck::kCapBudget: return "cap_budget";
+    case ViolationCheck::kSettlementConservation: return "settlement_conservation";
+    case ViolationCheck::kDispatchConservation: return "dispatch_conservation";
+    case ViolationCheck::kEnergyIdentity: return "energy_identity";
+  }
+  return "?";
+}
+
 TraceFormat parse_trace_format(const std::string& name) {
   if (name == "jsonl") {
     return TraceFormat::kJsonl;
@@ -128,6 +141,17 @@ void TraceWriter::append_jsonl(const TraceTaskInfo& info, const TraceBuffer& buf
              << ", \"t\": " << fmt(ev.t) << ", \"job\": " << ev.job
              << ", \"server\": " << ev.core << ", \"in_flight\": " << fmt(ev.a)
              << "}\n";
+        break;
+      case TraceEventType::kAssign:
+        out_ << "{\"ev\": \"assign\", \"task\": " << task
+             << ", \"t\": " << fmt(ev.t) << ", \"job\": " << ev.job
+             << ", \"core\": " << ev.core << "}\n";
+        break;
+      case TraceEventType::kViolation:
+        out_ << "{\"ev\": \"violation\", \"task\": " << task
+             << ", \"t\": " << fmt(ev.t) << ", \"check\": \""
+             << violation_check_name(ev.mode) << "\", \"observed\": " << fmt(ev.a)
+             << ", \"expected\": " << fmt(ev.b) << "}\n";
         break;
     }
   }
@@ -221,6 +245,21 @@ void TraceWriter::append_chrome(const TraceTaskInfo& info, const TraceBuffer& bu
                std::to_string(ev.core) + "\", \"cat\": \"cluster\", \"args\": "
                "{\"job\": " + std::to_string(ev.job) + ", \"in_flight\": " +
                fmt(ev.a) + "}}");
+        break;
+      case TraceEventType::kAssign:
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": " + tid +
+               ", \"ts\": " + us(ev.t) + ", \"s\": \"t\", \"name\": \"assign job " +
+               std::to_string(ev.job) + "\", \"cat\": \"sched\", \"args\": "
+               "{\"job\": " + std::to_string(ev.job) + "}}");
+        break;
+      case TraceEventType::kViolation:
+        // Violations are process-scoped: they indict the whole run, not one
+        // core track.
+        record("{\"ph\": \"i\", \"pid\": " + pid + ", \"tid\": 0, \"ts\": " +
+               us(ev.t) + ", \"s\": \"p\", \"name\": \"violation: " +
+               std::string(violation_check_name(ev.mode)) + "\", \"cat\": "
+               "\"watchdog\", \"args\": {\"observed\": " + fmt(ev.a) +
+               ", \"expected\": " + fmt(ev.b) + "}}");
         break;
     }
   }

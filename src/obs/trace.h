@@ -42,7 +42,28 @@ enum class TraceEventType : std::uint8_t {
   kDispatch,      // cluster dispatch decision: job, core=server index,
                   // a=jobs already in flight on that server (multi-server
                   // runs only; see docs/CLUSTER.md)
+  kAssign,        // scheduling round pinned a waiting job to a core: job,
+                  // core (never migrates afterwards)
+  kViolation,     // invariant watchdog: a conservation identity failed:
+                  // mode=check id (ViolationCheck), a=observed, b=expected
 };
+
+// Invariant identities the online watchdog (obs/analysis/watchdog.h) checks;
+// kViolation events carry the failed check in their `mode` field.
+enum class ViolationCheck : std::int32_t {
+  kMonotoneClock = 0,       // an instantaneous event moved backwards in time
+  kExecSpan,                // an exec slice ended before it started, or named
+                            // a core the server does not have
+  kJobOverrun,              // a job settled with executed > demand
+  kCapBudget,               // per-core caps of one round sum above the budget
+  kSettlementConservation,  // settlements != released jobs at end of run
+  kDispatchConservation,    // sum of dispatches != released jobs
+  kEnergyIdentity,          // integrated exec-span energy != reported energy
+};
+
+// Stable lowercase name of a check ("monotone_clock", ...); "?" for values
+// outside the enum.  Used by the JSONL writer and the report generator.
+const char* violation_check_name(std::int32_t check) noexcept;
 
 // Execution mode tags shared by kRound / kModeSwitch (mirrors
 // GoodEnoughScheduler::Mode; -1 = not applicable).
@@ -61,14 +82,35 @@ struct TraceEvent {
   double c = 0.0;
 };
 
+// Live tap on a TraceBuffer: on_event fires synchronously inside push(),
+// after the event is stored.  An observer may push follow-up events into the
+// same buffer from inside on_event (the watchdog records violations that
+// way); it must tolerate seeing those re-entrantly.
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
 class TraceBuffer {
  public:
-  void push(const TraceEvent& event) { events_.push_back(event); }
+  void push(const TraceEvent& event) {
+    events_.push_back(event);
+    if (observer_ != nullptr) {
+      observer_->on_event(event);
+    }
+  }
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   std::size_t size() const noexcept { return events_.size(); }
 
+  // At most one observer; nullptr detaches.  The observer must outlive every
+  // push() (the runner detaches the watchdog before tearing it down).
+  void set_observer(TraceObserver* observer) noexcept { observer_ = observer; }
+  TraceObserver* observer() const noexcept { return observer_; }
+
  private:
   std::vector<TraceEvent> events_;
+  TraceObserver* observer_ = nullptr;
 };
 
 enum class TraceFormat { kJsonl, kChrome };

@@ -3,6 +3,7 @@
 
 Usage:
   check_telemetry.py [--trace FILE] [--chrome FILE] [--metrics FILE]
+                     [--report DIR]
 
 --trace    JSONL trace (docs/OBSERVABILITY.md, "Trace schema"): every line
            must be a JSON object whose fields match its "ev" kind exactly.
@@ -10,12 +11,16 @@ Usage:
            carrying the required "ph"/"pid" keys.
 --metrics  Metrics JSON ("goodenough-metrics-v1"): every metric entry must
            carry the fields of its type.
+--report   ge-report-v1 directory (--report flag / ge_report output):
+           report.md plus the four CSVs, each with its exact documented
+           header, a constant field count, and parseable numeric cells.
 
 Exits non-zero with a line-numbered message on the first violation; CI runs
 this after the telemetry smoke run so schema drift fails the build.
 """
 import argparse
 import json
+import os
 import sys
 
 # Required fields per JSONL event kind (beyond "ev" itself).  "number" means
@@ -46,6 +51,35 @@ EVENT_FIELDS = {
     "core_offline": {"task": int, "t": (int, float), "core": int},
     "dispatch": {"task": int, "t": (int, float), "job": int, "server": int,
                  "in_flight": (int, float)},
+    "assign": {"task": int, "t": (int, float), "job": int, "core": int},
+    "violation": {"task": int, "t": (int, float), "check": str,
+                  "observed": (int, float), "expected": (int, float)},
+}
+
+# ge-report-v1 CSV schemas: header -> columns that hold strings (every other
+# column must parse as a number).
+REPORT_CSVS = {
+    "summary.csv": (
+        "task,scheduler,arrival_rate,servers,cores,released,completed,partial,"
+        "dropped,missed,rounds,mode_switches,cuts,violations,"
+        "integrated_energy_j,reported_energy_j,energy_rel_err,"
+        "mean_response_ms,p99_response_ms",
+        {"scheduler"},
+    ),
+    "jobs.csv": (
+        "task,job,server,core,arrival_s,assigned_s,first_exec_s,settled_s,"
+        "deadline_s,demand_units,executed_units,energy_j,wait_ms,service_ms,"
+        "response_ms,slack_ms,outcome,missed",
+        {"outcome"},
+    ),
+    "residency.csv": (
+        "task,server,core,ghz_lo,ghz_hi,busy_s,energy_j",
+        set(),
+    ),
+    "timeline.csv": (
+        "task,server,t_s,waiting,in_flight,busy_cores,power_w",
+        set(),
+    ),
 }
 
 METRIC_FIELDS = {
@@ -156,20 +190,64 @@ def check_metrics(path):
     print(f"{path}: OK ({len(metrics)} metrics)")
 
 
+def check_report(report_dir):
+    md = os.path.join(report_dir, "report.md")
+    try:
+        with open(md) as f:
+            first = f.readline()
+    except OSError as err:
+        fail(f"{md}: cannot read ({err})")
+    if not first.startswith("# "):
+        fail(f"{md}: does not start with a Markdown title")
+    for name, (header, string_cols) in REPORT_CSVS.items():
+        path = os.path.join(report_dir, name)
+        columns = header.split(",")
+        numeric = [i for i, c in enumerate(columns) if c not in string_cols]
+        try:
+            f = open(path)
+        except OSError as err:
+            fail(f"{path}: cannot read ({err})")
+        with f:
+            got = f.readline().rstrip("\n")
+            if got != header:
+                fail(f"{path}: header mismatch\n  expected: {header}\n"
+                     f"  got:      {got}")
+            rows = 0
+            for lineno, line in enumerate(f, 2):
+                fields = line.rstrip("\n").split(",")
+                where = f"{path}:{lineno}"
+                if len(fields) != len(columns):
+                    fail(f"{where}: {len(fields)} fields, "
+                         f"expected {len(columns)}")
+                for i in numeric:
+                    try:
+                        float(fields[i])
+                    except ValueError:
+                        fail(f"{where}: column {columns[i]!r} is not numeric "
+                             f"({fields[i]!r})")
+                rows += 1
+        print(f"{path}: OK ({rows} rows)")
+    print(f"{report_dir}: OK (ge-report-v1)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace")
     parser.add_argument("--chrome")
     parser.add_argument("--metrics")
+    parser.add_argument("--report")
     args = parser.parse_args()
-    if not (args.trace or args.chrome or args.metrics):
-        parser.error("nothing to check: pass --trace, --chrome or --metrics")
+    if not (args.trace or args.chrome or args.metrics or args.report):
+        parser.error(
+            "nothing to check: pass --trace, --chrome, --metrics or --report")
     if args.trace:
         check_trace(args.trace)
     if args.chrome:
         check_chrome(args.chrome)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.report:
+        check_report(args.report)
 
 
 if __name__ == "__main__":

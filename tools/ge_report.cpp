@@ -1,0 +1,105 @@
+// ge_report: offline trace analytics.
+//
+// Re-derives the analysis layer's timelines, per-job spans, speed-residency
+// histograms and the residency-vs-reported energy cross-check from a --trace
+// JSONL file, without re-running the simulation:
+//
+//   ge_report --trace FILE [--out DIR] [--metrics FILE]
+//             [--speed-bin GHZ] [--bins N] [--energy-tol REL]
+//
+//   --trace FILE     JSONL trace written by any figNN binary or ge_sweep
+//                    (required)
+//   --out DIR        report directory to write (default: report)
+//   --metrics FILE   merged metrics JSON from the same run; its
+//                    energy.total_j supplies the reported total the
+//                    residency integration is checked against
+//   --speed-bin GHZ  residency histogram bin width (default 0.2)
+//   --bins N         timeline bin count per task (default 60)
+//   --energy-tol REL energy identity verdict threshold (default 1e-6: every
+//                    accrual term round-trips the writer's %.12g formatting,
+//                    so the in-process 1e-9 does not hold from files)
+//
+// Output is deterministic: report bytes are a pure function of the input
+// files and flags (schema ge-report-v1, docs/OBSERVABILITY.md).  CI runs
+// this tool on the telemetry smoke trace and diffs serial-vs-parallel
+// report directories byte-for-byte.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/report.h"
+#include "obs/analysis/trace_reader.h"
+#include "util/check.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const util::Flags flags(argc, argv);
+
+  const std::string trace_path = flags.get_string("trace", "");
+  GE_CHECK(!trace_path.empty(),
+           "usage: ge_report --trace FILE [--out DIR] [--metrics FILE]");
+  const std::string out_dir = flags.get_string("out", "report");
+
+  std::ifstream trace_in(trace_path);
+  GE_CHECK(trace_in.good(), "cannot open --trace input file: " + trace_path);
+  const std::vector<obs::analysis::ParsedTask> parsed =
+      obs::analysis::read_trace_jsonl(trace_in);
+  GE_CHECK(!parsed.empty(), "trace file contains no tasks: " + trace_path);
+
+  // The merged metrics file sums energy over every task, so it pins down a
+  // single task's reported energy only when the trace holds a single task;
+  // for multi-task traces the summed cross-check is printed below instead.
+  double metrics_energy_j = -1.0;
+  const std::string metrics_path = flags.get_string("metrics", "");
+  if (!metrics_path.empty()) {
+    std::ifstream metrics_in(metrics_path);
+    GE_CHECK(metrics_in.good(),
+             "cannot open --metrics input file: " + metrics_path);
+    const obs::analysis::MetricsValues metrics =
+        obs::analysis::read_metrics_json(metrics_in);
+    metrics_energy_j = metrics.get("energy.total_j", -1.0);
+  }
+
+  obs::analysis::ReportOptions options;
+  options.speed_bin_ghz = flags.get_double("speed-bin", options.speed_bin_ghz);
+  options.timeline_bins = static_cast<std::size_t>(
+      flags.get_int("bins", static_cast<std::int64_t>(options.timeline_bins)));
+  options.energy_rel_tol = flags.get_double("energy-tol", 1e-6);
+
+  obs::analysis::ReportWriter writer(options);
+  for (const obs::analysis::ParsedTask& task : parsed) {
+    obs::analysis::TaskInput input;
+    input.info = task.info;
+    input.buffer = &task.buffer;
+    input.fallback_model = task.model;  // per-core models are not in the file
+    if (parsed.size() == 1 && metrics_energy_j >= 0.0) {
+      input.reported_energy_j = metrics_energy_j;
+    }
+    writer.add_task(input);
+  }
+  writer.write_directory(out_dir);
+
+  double integrated_j = 0.0;
+  std::size_t violations = 0;
+  for (const obs::analysis::TaskAnalysis& task : writer.tasks()) {
+    integrated_j += task.integrated_energy_j;
+    violations += task.violations.size();
+  }
+  std::printf("ge_report: %zu task(s) -> %s (%zu recorded violation(s))\n",
+              parsed.size(), out_dir.c_str(), violations);
+  std::printf("ge_report: integrated energy %.12g J\n", integrated_j);
+  if (metrics_energy_j >= 0.0) {
+    const double diff = integrated_j - metrics_energy_j;
+    const double rel =
+        metrics_energy_j != 0.0 ? std::abs(diff / metrics_energy_j)
+                                : std::abs(diff);
+    const bool ok = rel <= options.energy_rel_tol;
+    std::printf("ge_report: metrics energy.total_j %.12g J (rel err %.12g) %s\n",
+                metrics_energy_j, rel, ok ? "OK" : "MISMATCH");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -8,7 +8,8 @@
 //   ge_sweep --schedulers GE,BE,FCFS --rates 100,150,200 --seconds 30
 //            [--metric quality|energy|p99|aes|power] [--csv | --json]
 //            [--jobs N] [--trace F [--trace-format jsonl|chrome]]
-//            [--metrics F] [--servers N --dispatch random|rr|jsq|least-energy]
+//            [--metrics F] [--report DIR] [--watchdog] [--profile]
+//            [--servers N --dispatch random|rr|jsq|least-energy]
 //            [any ExperimentConfig flag, see exp/flags_config.h]
 //
 // Full flag reference: docs/CLI.md; telemetry schema: docs/OBSERVABILITY.md.
@@ -16,8 +17,6 @@
 #include <iostream>
 #include <string>
 #include <vector>
-
-#include <unistd.h>
 
 #include "exp/flags_config.h"
 #include "exp/report.h"
@@ -74,13 +73,7 @@ int main(int argc, char** argv) {
   const std::vector<double> rates =
       flags.get_double_list("rates", {base.arrival_rate});
 
-  exp::ExecutionOptions exec;
-  exec.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
-  exec.progress = flags.get_bool("progress", isatty(STDERR_FILENO) != 0);
-  exec.telemetry.trace_path = flags.get_string("trace", "");
-  exec.telemetry.trace_format =
-      obs::parse_trace_format(flags.get_string("trace-format", "jsonl"));
-  exec.telemetry.metrics_path = flags.get_string("metrics", "");
+  const exp::ExecutionOptions exec = exp::parse_execution_options(flags);
   const auto points = exp::sweep_arrival_rates(base, specs, rates, exec);
 
   if (flags.get_bool("json", false)) {
