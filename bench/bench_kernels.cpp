@@ -28,12 +28,25 @@
 #include "quality/quality_function.h"
 #include "quality/quality_monitor.h"
 #include "server/multicore_server.h"
+#include "sim/calendar_queue.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/job.h"
 
 namespace {
+
+// Stamp the *project's* build type into the JSON context; see
+// tools/bench_compare.py, which refuses debug-built baselines on this key
+// (`library_build_type` only describes the installed benchmark library).
+const bool ge_build_type_registered = [] {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ge_build_type", "release");
+#else
+  benchmark::AddCustomContext("ge_build_type", "debug");
+#endif
+  return true;
+}();
 
 using ge::quality::ExponentialQuality;
 
@@ -302,6 +315,7 @@ BENCHMARK(BM_PlanRectifier)->Range(4, 256);
 
 // --- Event queue ------------------------------------------------------------
 
+template <typename Queue>
 void BM_EventQueuePushPop(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   ge::util::Rng rng(6);
@@ -310,7 +324,7 @@ void BM_EventQueuePushPop(benchmark::State& state) {
     t = rng.uniform(0.0, 1000.0);
   }
   for (auto _ : state) {
-    ge::sim::EventQueue queue;
+    Queue queue;
     for (double t : times) {
       queue.push(t, [] {});
     }
@@ -320,8 +334,14 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_EventQueuePushPop)->Range(64, 16384);
+BENCHMARK_TEMPLATE(BM_EventQueuePushPop, ge::sim::HeapEventQueue)
+    ->Name("BM_EventQueuePushPop")
+    ->Range(64, 16384);
+BENCHMARK_TEMPLATE(BM_EventQueuePushPop, ge::sim::CalendarEventQueue)
+    ->Name("BM_EventQueuePushPopCalendar")
+    ->Range(64, 16384);
 
+template <typename Queue>
 void BM_EventQueueChurn(benchmark::State& state) {
   // The simulator's steady-state pattern: a rolling window of pending
   // events where every pop schedules a replacement and a third of the
@@ -331,7 +351,7 @@ void BM_EventQueueChurn(benchmark::State& state) {
   const std::size_t ops = 4 * window;
   for (auto _ : state) {
     ge::util::Rng rng(8);
-    ge::sim::EventQueue queue;
+    Queue queue;
     std::vector<ge::sim::EventId> pending;
     pending.reserve(window);
     double now = 0.0;
@@ -355,7 +375,12 @@ void BM_EventQueueChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(ops));
 }
-BENCHMARK(BM_EventQueueChurn)->Range(64, 4096);
+BENCHMARK_TEMPLATE(BM_EventQueueChurn, ge::sim::HeapEventQueue)
+    ->Name("BM_EventQueueChurn")
+    ->Range(64, 4096);
+BENCHMARK_TEMPLATE(BM_EventQueueChurn, ge::sim::CalendarEventQueue)
+    ->Name("BM_EventQueueChurnCalendar")
+    ->Range(64, 4096);
 
 // --- Load estimator ---------------------------------------------------------
 

@@ -17,6 +17,19 @@
 
 namespace {
 
+// Stamp the *project's* build type into the JSON context.  The
+// `library_build_type` field describes how the installed google-benchmark
+// library was compiled, not this binary, so tools/bench_compare.py gates on
+// this key instead (debug-built numbers must never become baselines).
+const bool ge_build_type_registered = [] {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ge_build_type", "release");
+#else
+  benchmark::AddCustomContext("ge_build_type", "debug");
+#endif
+  return true;
+}();
+
 ge::exp::ExperimentConfig bench_config(double rate) {
   ge::exp::ExperimentConfig cfg = ge::exp::ExperimentConfig::paper_defaults();
   cfg.arrival_rate = rate;
@@ -91,6 +104,41 @@ void BM_SimulateGE_Cluster4(benchmark::State& state) {
   state.counters["sim_seconds_per_iter"] = cfg.duration;
 }
 
+// Streaming replay of the heavy GE case: generation, release, retirement
+// and accounting all happen inside the run (no materialised trace), which
+// is the 10^6+-job path.  Compare against BM_SimulateGE_Heavy for the cost
+// (or saving) of the arena pipeline; results are bit-identical.
+void BM_SimulateGE_Stream(benchmark::State& state) {
+  ge::exp::ExperimentConfig cfg = bench_config(220.0);
+  cfg.stream = true;
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const ge::exp::RunResult r =
+        ge::exp::run_simulation(cfg, ge::exp::SchedulerSpec::parse("GE"));
+    jobs += r.released;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["sim_seconds_per_iter"] = cfg.duration;
+}
+
+// Heavy GE case on the calendar event queue (--event-queue calendar).
+void BM_SimulateGE_CalendarQueue(benchmark::State& state) {
+  ge::exp::ExperimentConfig cfg = bench_config(220.0);
+  cfg.event_queue = ge::sim::EventQueueKind::kCalendar;
+  const ge::workload::Trace trace =
+      ge::workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const ge::exp::RunResult r =
+        ge::exp::run_simulation(cfg, ge::exp::SchedulerSpec::parse("GE"), trace);
+    jobs += r.released;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["sim_seconds_per_iter"] = cfg.duration;
+}
+
 // Fig. 3-style comparison: GE/BE/FCFS across three load points through the
 // experiment engine, the shape every figure binary runs.
 void BM_SimulateFig03Sweep(benchmark::State& state) {
@@ -125,6 +173,8 @@ BENCHMARK(BM_SimulateFCFS_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Discrete)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Telemetry)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Cluster4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateGE_Stream)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateGE_CalendarQueue)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateFig03Sweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace

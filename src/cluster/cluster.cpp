@@ -72,10 +72,7 @@ void Cluster::start() {
 void Cluster::on_job_arrival(workload::Job* job) {
   const std::size_t s = dispatcher_->pick(*job);
   GE_CHECK(s < nodes_.size(), "dispatcher picked a server that does not exist");
-  if (job->id >= job_server_.size()) {
-    job_server_.resize(job->id + 1, kNoServer);
-  }
-  job_server_[job->id] = s;
+  job->server = static_cast<std::int32_t>(s);
   ++nodes_[s]->dispatched_;
   if (nodes_.size() > 1) {
     if (obs::Telemetry* tel = sim_->telemetry(); tel != nullptr && tel->trace) {
@@ -102,9 +99,9 @@ void Cluster::finish() {
 }
 
 std::size_t Cluster::server_of(const workload::Job& job) const {
-  GE_CHECK(job.id < job_server_.size() && job_server_[job.id] != kNoServer,
+  GE_CHECK(job.server >= 0 && static_cast<std::size_t>(job.server) < nodes_.size(),
            "job was never dispatched to a server");
-  return job_server_[job.id];
+  return static_cast<std::size_t>(job.server);
 }
 
 std::size_t Cluster::in_flight(std::size_t server) const {

@@ -140,8 +140,6 @@ class Cluster final : public DispatchView {
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   std::unique_ptr<Dispatcher> dispatcher_;
   std::size_t total_cores_ = 0;
-  static constexpr std::size_t kNoServer = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> job_server_;  // job id -> node index
 };
 
 }  // namespace ge::cluster

@@ -38,6 +38,10 @@ GoodEnoughScheduler::GoodEnoughScheduler(SchedulerEnv env, GoodEnoughOptions opt
       options_(options),
       assigner_(env.server->core_count(), options.cumulative_rr),
       load_(options.load_window) {
+  // Every core starts dirty (and with an impossible last-seen online state)
+  // so the first round rebuilds everything.
+  edf_dirty_.assign(env.server->core_count(), 1);
+  edf_online_.assign(env.server->core_count(), 2);
   GE_CHECK(options_.q_ge >= 0.0 && options_.q_ge <= 1.0, "q_ge must be in [0,1]");
   GE_CHECK(options_.cut_target >= 0.0 && options_.cut_target <= 1.0,
            "cut_target must be in [0,1]");
@@ -58,6 +62,8 @@ GoodEnoughScheduler::GoodEnoughScheduler(SchedulerEnv env, GoodEnoughOptions opt
     m_mode_switches_ = &reg.counter("ge.mode_switches", "switches");
     m_plans_ = &reg.counter("ge.plan_recomputations", "plans");
     m_qopt_trims_ = &reg.counter("ge.quality_opt_trims", "plans");
+    m_edf_rebuilds_ = &reg.counter("ge.edf_rebuilds", "cores");
+    m_edf_skips_ = &reg.counter("ge.edf_skips", "cores");
     m_cut_level_ = &reg.histogram(
         "ge.cut_level_units", {130, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
         "units");
@@ -95,9 +101,26 @@ void GoodEnoughScheduler::on_core_idle(int core_id) {
   }
 }
 
+void GoodEnoughScheduler::mark_core_dirty(int core_id) {
+  if (core_id >= 0 && static_cast<std::size_t>(core_id) < edf_dirty_.size()) {
+    edf_dirty_[static_cast<std::size_t>(core_id)] = 1;
+  }
+}
+
+void GoodEnoughScheduler::settle_tracked(workload::Job* job) {
+  mark_core_dirty(job->core);  // settle() detaches the job; read core first
+  settle(job);
+}
+
+void GoodEnoughScheduler::on_job_finished(workload::Job* job) {
+  if (!job->settled) {
+    settle_tracked(job);
+  }
+}
+
 void GoodEnoughScheduler::on_deadline(workload::Job* job) {
   if (!job->settled) {
-    settle(job);
+    settle_tracked(job);
   }
   // A settlement can free a core while work is waiting; don't sit on it
   // until the next quantum.
@@ -109,7 +132,7 @@ void GoodEnoughScheduler::on_deadline(workload::Job* job) {
 void GoodEnoughScheduler::finish() {
   for (workload::Job* job : waiting_) {
     if (!job->settled) {
-      settle(job);
+      settle_tracked(job);
     }
   }
   waiting_.clear();
@@ -117,7 +140,7 @@ void GoodEnoughScheduler::finish() {
     auto queue = env_.server->core(i).queue();  // copy: settle() mutates it
     for (workload::Job* job : queue) {
       if (!job->settled) {
-        settle(job);
+        settle_tracked(job);
       }
     }
   }
@@ -158,11 +181,26 @@ GoodEnoughScheduler::Mode GoodEnoughScheduler::choose_mode() const {
 void GoodEnoughScheduler::refresh_edf_cache() {
   const std::size_t m = env_.server->core_count();
   edf_cache_.resize(m);
+  edf_demand_.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
-    std::vector<workload::Job*>& jobs = edf_cache_[i];
-    jobs.clear();
     server::Core& core = env_.server->core(i);
-    if (!core.online()) {
+    const std::uint8_t online = core.online() ? 1 : 0;
+    // A clean core's cache is exact: queue membership only changes through
+    // assignment and settlement (both mark the core dirty), and membership
+    // plus the (deadline, id) total order determine the sequence uniquely.
+    if (edf_dirty_[i] == 0 && edf_online_[i] == online) {
+      if (m_edf_skips_ != nullptr) {
+        m_edf_skips_->increment();
+      }
+      continue;
+    }
+    edf_dirty_[i] = 0;
+    edf_online_[i] = online;
+    std::vector<workload::Job*>& jobs = edf_cache_[i];
+    std::vector<double>& demands = edf_demand_[i];
+    jobs.clear();
+    demands.clear();
+    if (!online) {
       continue;  // offline cores are never planned; stranded jobs settle later
     }
     for (workload::Job* job : core.queue()) {
@@ -171,6 +209,13 @@ void GoodEnoughScheduler::refresh_edf_cache() {
       }
     }
     std::sort(jobs.begin(), jobs.end(), edf_before);
+    demands.reserve(jobs.size());
+    for (const workload::Job* job : jobs) {
+      demands.push_back(job->demand);  // immutable: lane valid while clean
+    }
+    if (m_edf_rebuilds_ != nullptr) {
+      m_edf_rebuilds_->increment();
+    }
   }
 }
 
@@ -191,11 +236,11 @@ void GoodEnoughScheduler::set_targets(server::Core& core, Mode mode) {
   }
   // AES: Longest-First cutting against the original demands (a running job
   // is re-cut as if new, Sec. III-B); a target can never drop below what is
-  // already executed.
-  cut_demands_.resize(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    cut_demands_[i] = jobs[i]->demand;
-  }
+  // already executed.  Demands come from the SoA lane kept alongside the
+  // EDF cache -- one contiguous copy instead of a pointer-chasing gather.
+  const std::vector<double>& lane =
+      edf_demand_[static_cast<std::size_t>(core.id())];
+  cut_demands_.assign(lane.begin(), lane.end());
   opt::cut_longest_first(cut_demands_, *env_.quality_function, options_.cut_target,
                          cut_scratch_);
   const opt::CutResult& cut = cut_scratch_.result;
@@ -359,10 +404,11 @@ void GoodEnoughScheduler::schedule_round() {
     m_rounds_->increment();
   }
 
-  // 1. Settle waiting jobs whose deadline already passed.
+  // 1. Settle waiting jobs whose deadline already passed (not yet assigned,
+  // so no core cache is invalidated).
   for (workload::Job* job : waiting_) {
     if (!job->settled && job->expired(t)) {
-      settle(job);
+      settle_tracked(job);
     }
   }
   std::erase_if(waiting_, [](const workload::Job* j) { return j->settled; });
@@ -377,6 +423,7 @@ void GoodEnoughScheduler::schedule_round() {
       }
       job->core = static_cast<int>(c);
       env_.server->core(c).queue().push_back(job);
+      mark_core_dirty(job->core);
       if (trace() != nullptr) {
         obs::TraceEvent ev;
         ev.type = obs::TraceEventType::kAssign;
@@ -396,7 +443,7 @@ void GoodEnoughScheduler::schedule_round() {
     auto queue = env_.server->core(i).queue();  // copy: settle() mutates it
     for (workload::Job* job : queue) {
       if (!job->settled && job->expired(t)) {
-        settle(job);
+        settle_tracked(job);
       }
     }
   }
@@ -445,7 +492,7 @@ void GoodEnoughScheduler::schedule_round() {
     auto queue = env_.server->core(i).queue();
     for (workload::Job* job : queue) {
       if (!job->settled && job->remaining_target() <= kWorkEps) {
-        settle(job);
+        settle_tracked(job);
       }
     }
   }

@@ -26,6 +26,7 @@
 //   BE-S = BE with a calibrated per-core speed cap.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -86,6 +87,7 @@ class GoodEnoughScheduler : public Scheduler {
   void start() override;
   void on_job_arrival(workload::Job* job) override;
   void on_core_idle(int core_id) override;
+  void on_job_finished(workload::Job* job) override;
   void on_deadline(workload::Job* job) override;
   void finish() override;
 
@@ -110,7 +112,20 @@ class GoodEnoughScheduler : public Scheduler {
   // order instead of re-sorting the queue (jobs settled mid-round stay in
   // the cache and are skipped by their `settled` flag, which preserves the
   // exact filtered sequence a fresh sort would produce).
+  //
+  // Incremental rounds: only *dirty* cores -- those whose queue membership
+  // or online state changed since the last rebuild (assignment, any
+  // settlement, failure/repair) -- are re-scanned and re-sorted.  A clean
+  // core's cache is provably identical to what a rebuild would produce:
+  // membership only changes through tracked mutations, and (deadline, id)
+  // is a total order, so equal membership forces an equal sequence.  This
+  // also keeps cache pointers valid without quarantine: every settlement
+  // dirties its core, so a clean cache holds live jobs only.
   void refresh_edf_cache();
+  void mark_core_dirty(int core_id);
+  // settle() + dirty-marking for the job's core; all settlements inside the
+  // GE engine route through this so the incremental cache stays exact.
+  void settle_tracked(workload::Job* job);
   // Sets job->target for every open job on the core according to the mode.
   void set_targets(server::Core& core, Mode mode);
   // Per-core power demand (W) to finish its remaining targets by deadline.
@@ -140,6 +155,14 @@ class GoodEnoughScheduler : public Scheduler {
   // replanning allocates nothing in steady state (hot-path optimisation;
   // bit-identical outputs are guarded by tests/test_kernel_equivalence.cpp).
   std::vector<std::vector<workload::Job*>> edf_cache_;  // per-core EDF order
+  // Struct-of-arrays hot lane: each core's job demands in EDF-cache order.
+  // `demand` is immutable after admission, so the lane stays exact while
+  // the cache is clean; AES cutting consumes it as one contiguous copy
+  // instead of chasing Job pointers.
+  std::vector<std::vector<double>> edf_demand_;
+  // Per-core change tracking for incremental rounds (1 = must rebuild).
+  std::vector<std::uint8_t> edf_dirty_;
+  std::vector<std::uint8_t> edf_online_;  // online state at last rebuild
   std::vector<opt::PlanJob> plan_jobs_;
   std::vector<opt::AllocJob> alloc_jobs_;
   std::vector<opt::PlanJob> trimmed_;
@@ -159,6 +182,8 @@ class GoodEnoughScheduler : public Scheduler {
   obs::Counter* m_mode_switches_ = nullptr;
   obs::Counter* m_plans_ = nullptr;
   obs::Counter* m_qopt_trims_ = nullptr;
+  obs::Counter* m_edf_rebuilds_ = nullptr;
+  obs::Counter* m_edf_skips_ = nullptr;
   obs::Histogram* m_cut_level_ = nullptr;
   // Wall-clock self-profiling spans (--profile); null when profiling is off.
   obs::Profiler* prof_ = nullptr;

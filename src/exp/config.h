@@ -10,6 +10,7 @@
 #include "cluster/dispatcher.h"
 #include "power/power_model.h"
 #include "quality/quality_function.h"
+#include "sim/event_queue.h"
 #include "workload/generator.h"
 
 namespace ge::cluster {
@@ -110,6 +111,21 @@ struct ExperimentConfig {
   // (energies scale linearly with duration).
   double duration = 60.0;
   std::uint64_t seed = 1;
+
+  // Streaming replay (docs/DESIGN.md, "Streaming core").  When `stream` is
+  // true the runner generates and releases jobs on the fly from a JobStore
+  // arena instead of materialising the whole trace up front: resident memory
+  // tracks jobs *in flight*, so 10^6+-job replays fit in a small, flat RSS.
+  // Results are bit-identical to the materialised path (fuzz-pinned).
+  bool stream = false;
+  // Cap on released jobs, 0 = unlimited.  Applies to both paths (the capped
+  // run replays the capped prefix of the uncapped job stream), so
+  // stream on/off and capped sweeps stay comparable.
+  std::uint64_t max_jobs = 0;
+  // Event queue backing the simulator: binary heap (default) or calendar
+  // queue (O(1) amortised holds).  Pop order is identical; see
+  // src/sim/calendar_queue.h for the tie-order contract.
+  sim::EventQueueKind event_queue = sim::EventQueueKind::kHeap;
   // When true the runner samples total power and checks it never exceeds
   // the budget (used by tests; cheap but pointless in sweeps).
   bool verify_power = false;

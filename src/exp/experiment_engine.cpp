@@ -162,9 +162,10 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
     }
     GE_CHECK(task.config.seed == owner->config.seed &&
                  task.config.duration == owner->config.duration &&
-                 task.config.arrival_rate == owner->config.arrival_rate,
+                 task.config.arrival_rate == owner->config.arrival_rate &&
+                 task.config.max_jobs == owner->config.max_jobs,
              "tasks sharing a plan point must share the workload "
-             "(seed/duration/arrival_rate mismatch)");
+             "(seed/duration/arrival_rate/max_jobs mismatch)");
   }
 
   std::vector<std::unique_ptr<TraceSlot>> trace_cache(plan.num_points());
@@ -195,10 +196,20 @@ std::vector<RunResult> ExperimentEngine::run(const ExperimentPlan& plan) const {
 
   auto run_task = [&](std::size_t i) {
     const RunTask& task = tasks[i];
+    if (task.config.stream) {
+      // Streaming tasks generate their own workload on the fly (bounded
+      // memory); the generator replays the exact stream the shared trace
+      // would materialise, so point pairing still compares identical
+      // randomness.
+      results[i] = run_simulation_stream(task.config, task.spec, nullptr,
+                                         want_telemetry ? telem[i].get() : nullptr);
+      return;
+    }
     TraceSlot& slot = *trace_cache[task.point];
     std::call_once(slot.once, [&] {
       const ExperimentConfig& cfg = point_owner[task.point]->config;
-      slot.trace = workload::Trace::generate(cfg.workload_spec(), cfg.duration);
+      slot.trace = workload::Trace::generate(cfg.workload_spec(), cfg.duration,
+                                             cfg.max_jobs);
     });
     results[i] = run_simulation(task.config, task.spec, slot.trace, nullptr,
                                 want_telemetry ? telem[i].get() : nullptr);

@@ -3,7 +3,12 @@
 #include "exp/timeline.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -18,34 +23,79 @@
 #include "util/check.h"
 #include "util/quantiles.h"
 #include "util/stats.h"
+#include "workload/generator.h"
+#include "workload/job_store.h"
 
 namespace ge::exp {
 namespace {
 
 constexpr double kCompleteTol = 1e-6;
 
-}  // namespace
+// Per-job end-of-life accounting, shared verbatim by the materialised and
+// streaming paths.  Bit-identity between the two paths hinges on this being
+// the *single* definition of the per-job arithmetic: both feed jobs in id
+// order, so the floating-point accumulation sequence is identical.
+struct JobAccounting {
+  const quality::QualityFunction* f;
+  RunResult* result;
+  double achieved = 0.0;
+  double potential = 0.0;
+  util::QuantileCollector responses;
 
-RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec) {
-  const workload::Trace trace = workload::Trace::generate(cfg.workload_spec(), cfg.duration);
-  return run_simulation(cfg, spec, trace);
-}
+  void account(const workload::Job& job) {
+    GE_CHECK(job.settled, "job left unsettled at end of run");
+    achieved += f->value(std::min(job.executed, job.demand));
+    potential += f->value(job.demand);
+    GE_CHECK(job.finish_time >= job.arrival - 1e-9, "finish before arrival");
+    responses.add((job.finish_time - job.arrival) * 1000.0);
+    ++result->released;
+    if (job.executed >= job.demand - kCompleteTol) {
+      ++result->completed;
+    } else if (job.executed > kCompleteTol) {
+      ++result->partial;
+    } else {
+      ++result->dropped;
+    }
+  }
+};
 
-RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
-                         const workload::Trace& trace) {
-  return run_simulation(cfg, spec, trace, nullptr);
-}
+// State of the streaming job pipeline (docs/DESIGN.md, "Streaming core").
+//
+// Jobs live in a JobStore arena from release to retirement; arrivals are
+// self-scheduling (each arrival event stages the next one), so at most one
+// generated-but-unreleased job exists at a time.  Retirement happens at the
+// deadline event -- the last event that can touch a job -- and retired jobs
+// pass through an id-ordered reorder buffer into JobAccounting, because
+// random deadline windows let a later job's deadline fire before an earlier
+// one's.  The buffer stays small: it holds at most the jobs whose deadline
+// windows overlap (bounded by arrival rate x widest window), not the run.
+struct StreamState {
+  workload::JobStore store;
+  workload::WorkloadGenerator gen;
+  std::optional<workload::Job> staged;  // generated, not yet released
+  std::uint64_t remaining;              // releases still allowed under max_jobs
+  std::map<std::uint64_t, workload::Job> retired;  // id-ordered reorder buffer
+  std::uint64_t next_account = 1;  // generator ids start at 1
 
-RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
-                         const workload::Trace& trace, Timeline* timeline) {
-  return run_simulation(cfg, spec, trace, timeline, nullptr);
-}
+  StreamState(double quarantine_delay, const workload::WorkloadSpec& spec,
+              std::uint64_t max_jobs)
+      : store(quarantine_delay),
+        gen(spec),
+        remaining(max_jobs == 0 ? std::numeric_limits<std::uint64_t>::max()
+                                : max_jobs) {}
+};
 
-RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
-                         const workload::Trace& trace, Timeline* timeline,
-                         obs::RunTelemetry* telemetry) {
+// One experiment end to end.  `trace == nullptr` selects the streaming path;
+// everything outside job release/accounting is shared, and release order is
+// engineered so the event sequence matches the materialised path wherever
+// the (time, seq) tie order is observable -- see the comments at the
+// streaming block.
+RunResult run_simulation_impl(const ExperimentConfig& cfg,
+                              const SchedulerSpec& spec,
+                              const workload::Trace* trace, Timeline* timeline,
+                              obs::RunTelemetry* telemetry) {
   cfg.validate();
-  sim::Simulator sim;
+  sim::Simulator sim(cfg.event_queue);
   // Install telemetry before any component is built: cores and schedulers
   // cache their handles at construction.
   obs::Telemetry tel_view;
@@ -88,22 +138,89 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     trace_buf->set_observer(watchdog.get());
   }
 
-  // Private, mutable copy of the trace; addresses are stable for the run.
-  std::vector<workload::Job> jobs = trace.jobs();
-  for (workload::Job& job : jobs) {
-    sim.schedule_at(job.arrival, [&cluster, &job, trace_buf] {
+  RunResult result;
+  JobAccounting acct{&f, &result};
+
+  // Materialised path: private, mutable copy of the trace; addresses are
+  // stable for the run.  Accounting happens after the run, in id order.
+  std::vector<workload::Job> jobs;
+  // Streaming path: arena-backed pipeline; accounting happens online as the
+  // reorder buffer drains in id order.
+  std::unique_ptr<StreamState> st;
+  std::function<void()> release_staged;
+  std::function<void()> stage_next;
+
+  if (trace != nullptr) {
+    jobs = trace->jobs();
+    for (workload::Job& job : jobs) {
+      sim.schedule_at(job.arrival, [&cluster, &job, trace_buf] {
+        if (trace_buf != nullptr) {
+          obs::TraceEvent ev;
+          ev.type = obs::TraceEventType::kArrival;
+          ev.t = job.arrival;
+          ev.job = static_cast<std::int64_t>(job.id);
+          ev.a = job.demand;
+          ev.b = job.deadline;
+          trace_buf->push(ev);
+        }
+        cluster.on_job_arrival(&job);
+      });
+      sim.schedule_at(job.deadline, [&cluster, &job] { cluster.on_deadline(&job); });
+    }
+  } else {
+    // The quarantine must outlast every scheduler-side reference to a
+    // settled job.  The GE engine purges settled pointers from its waiting
+    // queue and EDF caches at the next round, and the quantum chain bounds
+    // the round gap; two quanta leave generous slack.
+    st = std::make_unique<StreamState>(2.0 * cfg.quantum + 1e-3,
+                                       cfg.workload_spec(), cfg.max_jobs);
+    stage_next = [&cfg, &sim, &st, &release_staged] {
+      if (st->remaining == 0) {
+        return;  // max_jobs cap: stop without drawing more randomness
+      }
+      workload::Job job = st->gen.next();
+      if (job.arrival >= cfg.duration) {
+        return;  // same stop rule as WorkloadGenerator::generate_until
+      }
+      --st->remaining;
+      const double at = job.arrival;
+      st->staged = std::move(job);
+      sim.schedule_at(at, release_staged);
+    };
+    release_staged = [&cluster, &sim, &st, &stage_next, &acct, trace_buf] {
+      st->store.reclaim(sim.now());
+      workload::Job* job = st->store.acquire(*st->staged);
+      st->staged.reset();
+      // Event-creation order mirrors the materialised path's (time, seq)
+      // tie order everywhere ties are possible: the deadline is scheduled
+      // before anything the arrival round may schedule (plan-boundary
+      // events often land exactly on a deadline), and the next arrival is
+      // staged before the round runs.
+      sim.schedule_at(job->deadline, [&cluster, &sim, &st, &acct, job] {
+        cluster.on_deadline(job);
+        GE_CHECK(job->settled, "deadline event left the job unsettled");
+        st->retired.emplace(job->id, *job);
+        st->store.retire(job, sim.now());
+        while (!st->retired.empty() &&
+               st->retired.begin()->first == st->next_account) {
+          acct.account(st->retired.begin()->second);
+          st->retired.erase(st->retired.begin());
+          ++st->next_account;
+        }
+      });
+      stage_next();
       if (trace_buf != nullptr) {
         obs::TraceEvent ev;
         ev.type = obs::TraceEventType::kArrival;
-        ev.t = job.arrival;
-        ev.job = static_cast<std::int64_t>(job.id);
-        ev.a = job.demand;
-        ev.b = job.deadline;
+        ev.t = job->arrival;
+        ev.job = static_cast<std::int64_t>(job->id);
+        ev.a = job->demand;
+        ev.b = job->deadline;
         trace_buf->push(ev);
       }
-      cluster.on_job_arrival(&job);
-    });
-    sim.schedule_at(job.deadline, [&cluster, &job] { cluster.on_deadline(&job); });
+      cluster.on_job_arrival(job);
+    };
+    stage_next();  // first arrival gets seq 1, like the materialised path
   }
 
   if (cfg.verify_power) {
@@ -167,33 +284,25 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     cluster.finish();
   }
 
-  RunResult result;
   result.scheduler = cluster.node(0).scheduler().name();
   result.arrival_rate = cfg.arrival_rate;
   result.duration = cfg.duration;
   result.num_servers = static_cast<std::uint64_t>(cluster.size());
   result.dispatch = cluster.dispatcher().name();
 
-  double achieved = 0.0;
-  double potential = 0.0;
-  util::QuantileCollector responses;
-  responses.reserve(jobs.size());
-  for (const workload::Job& job : jobs) {
-    GE_CHECK(job.settled, "job left unsettled at end of run");
-    achieved += f.value(std::min(job.executed, job.demand));
-    potential += f.value(job.demand);
-    GE_CHECK(job.finish_time >= job.arrival - 1e-9, "finish before arrival");
-    responses.add((job.finish_time - job.arrival) * 1000.0);
-    ++result.released;
-    if (job.executed >= job.demand - kCompleteTol) {
-      ++result.completed;
-    } else if (job.executed > kCompleteTol) {
-      ++result.partial;
-    } else {
-      ++result.dropped;
+  if (trace != nullptr) {
+    acct.responses.reserve(jobs.size());
+    for (const workload::Job& job : jobs) {
+      acct.account(job);
     }
+  } else {
+    // Everything released must have retired (every deadline precedes the
+    // horizon) and drained through the reorder buffer in id order.
+    GE_CHECK(!st->staged.has_value(), "staged arrival never released");
+    GE_CHECK(st->retired.empty(), "retired jobs stuck in the reorder buffer");
+    GE_CHECK(st->store.in_flight() == 0, "jobs still in flight after drain");
   }
-  result.quality = potential > 0.0 ? achieved / potential : 1.0;
+  result.quality = acct.potential > 0.0 ? acct.achieved / acct.potential : 1.0;
   result.energy = cluster.total_energy();
 
   if (watchdog != nullptr) {
@@ -209,6 +318,7 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
   result.static_energy = cfg.static_power_per_core *
                          static_cast<double>(cluster.total_cores()) * horizon;
   result.avg_power = cfg.duration > 0.0 ? result.energy / cfg.duration : 0.0;
+  util::QuantileCollector& responses = acct.responses;
   if (responses.count() > 0) {
     result.mean_response_ms = responses.mean();
     result.p50_response_ms = responses.quantile(0.50);
@@ -280,6 +390,18 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     reg.histogram("run.quality",
                   {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, "ratio")
         .observe(result.quality);
+    if (st != nullptr) {
+      // Streaming-only memory gauges; the non-streaming metric schema stays
+      // byte-identical.  Peaks merge with kMax across tasks.
+      reg.gauge("stream.peak_in_flight", "jobs", obs::Gauge::Merge::kMax)
+          .set(static_cast<double>(st->store.peak_in_flight()));
+      reg.gauge("stream.arena_slots", "jobs", obs::Gauge::Merge::kMax)
+          .set(static_cast<double>(st->store.capacity()));
+      reg.gauge("stream.arena_bytes", "bytes", obs::Gauge::Merge::kMax)
+          .set(static_cast<double>(st->store.memory_bytes()));
+      reg.gauge("sim.peak_pending_events", "events", obs::Gauge::Merge::kMax)
+          .set(static_cast<double>(sim.peak_pending_events()));
+    }
     if (cluster.size() == 1) {
       // Single-server runs keep the unprefixed metric schema byte-for-byte.
       cluster.node(0).server().export_metrics(reg, horizon);
@@ -288,6 +410,42 @@ RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
     }
   }
   return result;
+}
+
+}  // namespace
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec) {
+  if (cfg.stream) {
+    return run_simulation_stream(cfg, spec);
+  }
+  const workload::Trace trace =
+      workload::Trace::generate(cfg.workload_spec(), cfg.duration, cfg.max_jobs);
+  return run_simulation(cfg, spec, trace);
+}
+
+RunResult run_simulation_stream(const ExperimentConfig& cfg,
+                                const SchedulerSpec& spec, Timeline* timeline,
+                                obs::RunTelemetry* telemetry) {
+  return run_simulation_impl(cfg, spec, nullptr, timeline, telemetry);
+}
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace) {
+  return run_simulation(cfg, spec, trace, nullptr);
+}
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace, Timeline* timeline) {
+  return run_simulation(cfg, spec, trace, timeline, nullptr);
+}
+
+RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,
+                         const workload::Trace& trace, Timeline* timeline,
+                         obs::RunTelemetry* telemetry) {
+  GE_CHECK(!cfg.stream,
+           "cfg.stream is set but a materialised trace was supplied; use "
+           "run_simulation_stream (or run_simulation without a trace)");
+  return run_simulation_impl(cfg, spec, &trace, timeline, telemetry);
 }
 
 }  // namespace ge::exp

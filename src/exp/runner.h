@@ -67,8 +67,21 @@ struct RunResult {
   double server_load_cov = 0.0;
 };
 
-// Runs the scheduler on a fresh synthetic trace derived from cfg.
+// Runs the scheduler on a fresh synthetic trace derived from cfg.  When
+// cfg.stream is set, forwards to run_simulation_stream (no materialised
+// trace).
 RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec);
+
+// Streaming replay: generates and releases jobs on the fly from a JobStore
+// arena instead of materialising the trace, so resident memory tracks jobs
+// in flight rather than jobs ever released (10^6+-job runs in a flat RSS).
+// Results are bit-identical to the materialised path on the same cfg (the
+// fuzz suite pins this); cfg.max_jobs bounds the released-job count.
+struct Timeline;
+RunResult run_simulation_stream(const ExperimentConfig& cfg,
+                                const SchedulerSpec& spec,
+                                Timeline* timeline = nullptr,
+                                obs::RunTelemetry* telemetry = nullptr);
 
 // Runs the scheduler on a caller-provided trace (shared across schedulers).
 RunResult run_simulation(const ExperimentConfig& cfg, const SchedulerSpec& spec,

@@ -176,10 +176,17 @@ double cut_level_for_quality(std::span<const double> demands,
   double hi = max_demand;
   for (int i = 0; i < 100; ++i) {
     const double mid = 0.5 * (lo + hi);
+    // Midpoint == endpoint means the interval is one ulp wide: further
+    // iterations replay this exact (mid, branch) pair, so hi is final and
+    // the early break is bitwise-identical.
+    const bool converged = mid == lo || mid == hi;
     if (quality_at(mid) < q_target) {
       lo = mid;
     } else {
       hi = mid;
+    }
+    if (converged) {
+      break;
     }
   }
   return hi;

@@ -54,10 +54,19 @@ void waterfill(std::span<const AllocJob> jobs, std::size_t l, std::size_t r,
   double hi = theta_hi;
   for (int iter = 0; iter < 100; ++iter) {
     const double mid = 0.5 * (lo + hi);
+    // Once the midpoint collides with an endpoint the interval cannot
+    // shrink further: every later iteration recomputes this same mid and
+    // takes this same branch, so hi has reached its final value.  Breaking
+    // after the update is therefore bitwise-identical to running out the
+    // full iteration count.
+    const bool converged = mid == lo || mid == hi;
     if (allocated_at(mid) > budget) {
       lo = mid;
     } else {
       hi = mid;
+    }
+    if (converged) {
+      break;
     }
   }
   const double theta = hi;  // allocated_at(hi) <= budget

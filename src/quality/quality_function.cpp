@@ -25,10 +25,17 @@ double QualityFunction::inverse_derivative(double slope) const {
   double hi = xmax();
   for (int i = 0; i < 80; ++i) {
     const double mid = 0.5 * (lo + hi);
+    // mid == lo or mid == hi is a fixed point: later iterations cannot move
+    // either endpoint again (same mid, same branch every time), so breaking
+    // here returns the same 0.5 * (lo + hi) the full loop would.
+    const bool converged = mid == lo || mid == hi;
     if (derivative(mid) > slope) {
       lo = mid;
     } else {
       hi = mid;
+    }
+    if (converged) {
+      break;
     }
   }
   return 0.5 * (lo + hi);

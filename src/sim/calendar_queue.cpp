@@ -1,0 +1,147 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ge::sim {
+
+std::uint64_t CalendarEventQueue::bucket_of(double time) const {
+  if (time <= 0.0) {
+    return 0;
+  }
+  const double idx = time / width_;
+  GE_CHECK(idx < 9.2e18, "event time too large for calendar bucket index");
+  return static_cast<std::uint64_t>(idx);
+}
+
+void CalendarEventQueue::insert(Entry entry) {
+  const std::uint64_t abs = bucket_of(entry.time);
+  if (abs < cur_) {
+    cur_ = abs;  // raw-API insert behind the cursor: rewind
+  }
+  std::vector<Entry>& bucket = buckets_[abs % buckets_.size()];
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), entry,
+      [](const Entry& a, const Entry& b) { return entry_before(b, a); });
+  bucket.insert(pos, std::move(entry));
+  ++stored_;
+  maybe_resize();
+}
+
+void CalendarEventQueue::skim_back(std::vector<Entry>& bucket) const {
+  while (!bucket.empty() && slot_dead(bucket.back().slot)) {
+    release_slot(bucket.back().slot);
+    bucket.pop_back();
+    --stored_;
+  }
+}
+
+std::size_t CalendarEventQueue::locate_min() const {
+  const std::size_t nb = buckets_.size();
+  for (std::size_t lap = 0; lap < nb; ++lap) {
+    std::vector<Entry>& bucket = buckets_[cur_ % nb];
+    skim_back(bucket);
+    if (!bucket.empty() &&
+        bucket.back().time < static_cast<double>(cur_ + 1) * width_) {
+      return cur_ % nb;
+    }
+    ++cur_;
+  }
+  // A whole year of empty days: direct-search the earliest entry and jump.
+  const Entry* min_entry = nullptr;
+  std::size_t min_idx = 0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    skim_back(buckets_[i]);
+    if (buckets_[i].empty()) {
+      continue;
+    }
+    const Entry& back = buckets_[i].back();
+    if (min_entry == nullptr || entry_before(back, *min_entry)) {
+      min_entry = &back;
+      min_idx = i;
+    }
+  }
+  GE_CHECK(min_entry != nullptr, "locate_min() with no live entries");
+  cur_ = bucket_of(min_entry->time);
+  return min_idx;
+}
+
+double CalendarEventQueue::peek_time() const {
+  return buckets_[locate_min()].back().time;
+}
+
+EventQueue::Entry CalendarEventQueue::remove_min() {
+  std::vector<Entry>& bucket = buckets_[locate_min()];
+  Entry entry = std::move(bucket.back());
+  bucket.pop_back();
+  --stored_;
+  maybe_resize();
+  return entry;
+}
+
+void CalendarEventQueue::maybe_resize() {
+  const std::size_t nb = buckets_.size();
+  if (stored_ > 2 * nb) {
+    rebuild(2 * nb);
+  } else if (nb > kMinBuckets && stored_ < nb / 2) {
+    rebuild(nb / 2);
+  }
+}
+
+void CalendarEventQueue::rebuild(std::size_t nbuckets) {
+  std::vector<Entry> live;
+  live.reserve(stored_);
+  for (std::vector<Entry>& bucket : buckets_) {
+    for (Entry& entry : bucket) {
+      if (slot_dead(entry.slot)) {
+        release_slot(entry.slot);
+      } else {
+        live.push_back(std::move(entry));
+      }
+    }
+    bucket.clear();
+  }
+
+  // Re-estimate the bucket width as twice the mean gap between a sample of
+  // pending-event times (Brown's rule): buckets then hold ~0.5 entries on
+  // average near the cursor.  Degenerate samples (all-equal times) keep the
+  // previous width.
+  if (live.size() >= 2) {
+    std::vector<double> times;
+    const std::size_t sample = std::min<std::size_t>(live.size(), 64);
+    const std::size_t stride = live.size() / sample;
+    times.reserve(sample);
+    for (std::size_t i = 0; i < sample; ++i) {
+      times.push_back(live[i * stride].time);
+    }
+    std::sort(times.begin(), times.end());
+    const double span = times.back() - times.front();
+    if (span > 0.0) {
+      const double width =
+          2.0 * span / static_cast<double>(times.size() - 1);
+      width_ = std::max(width, 1e-9);
+    }
+  }
+
+  buckets_.assign(nbuckets, {});
+  stored_ = 0;
+  double min_time = 0.0;
+  bool first = true;
+  for (Entry& entry : live) {
+    if (first || entry.time < min_time) {
+      min_time = entry.time;
+      first = false;
+    }
+    std::vector<Entry>& bucket = buckets_[bucket_of(entry.time) % nbuckets];
+    const auto pos = std::upper_bound(
+        bucket.begin(), bucket.end(), entry,
+        [](const Entry& a, const Entry& b) { return entry_before(b, a); });
+    bucket.insert(pos, std::move(entry));
+    ++stored_;
+  }
+  cur_ = first ? 0 : bucket_of(min_time);
+}
+
+}  // namespace ge::sim

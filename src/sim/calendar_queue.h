@@ -1,0 +1,62 @@
+// Calendar queue: O(1)-amortized pending-event set (Brown, CACM 1988).
+//
+// Events are hashed by time into an array of buckets ("days"), each holding
+// a small list kept sorted in descending (time, seq) order so the earliest
+// entry sits at the back.  A cursor walks the buckets in time order; one
+// "year" spans nbuckets * width seconds.  Dequeue inspects the back of the
+// cursor's bucket and takes it when it falls inside the current year,
+// otherwise advances; after a fruitless full lap (a sparse region of the
+// time axis) it falls back to a direct search and jumps the cursor to the
+// earliest entry.  The bucket count doubles/halves as the population crosses
+// 2N / N/2, with the width re-estimated from the average gap between
+// pending-event times, keeping O(1) amortized push/pop while the event-time
+// distribution stays roughly stationary -- which a DES event loop's does.
+//
+// All of this machinery is performance-only: dequeue order is the same
+// (time, seq) total order the binary heap uses, so simulations are
+// bit-identical under either implementation (tests/test_sim.cpp pins this
+// differentially).
+//
+// Unlike the simulator (which never schedules into the past), the raw queue
+// API allows pushes at arbitrary times; an insert behind the cursor simply
+// moves the cursor back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace ge::sim {
+
+class CalendarEventQueue final : public EventQueue {
+ public:
+  // Bucket-array size; exposed so tests can watch resizing behaviour.
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+ protected:
+  void insert(Entry entry) override;
+  double peek_time() const override;
+  Entry remove_min() override;
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+
+  std::uint64_t bucket_of(double time) const;
+  // Drops lazily-cancelled entries off the back of a bucket.
+  void skim_back(std::vector<Entry>& bucket) const;
+  // Index (into buckets_) of the bucket holding the earliest live entry;
+  // advances or rewinds cur_ to that bucket's year.  Requires a live entry.
+  std::size_t locate_min() const;
+  void maybe_resize();
+  void rebuild(std::size_t nbuckets);
+
+  // Descending (time, seq): the earliest entry is at the back.
+  mutable std::vector<std::vector<Entry>> buckets_ =
+      std::vector<std::vector<Entry>>(kMinBuckets);
+  double width_ = 0.05;            // seconds per bucket
+  mutable std::uint64_t cur_ = 0;  // absolute (un-wrapped) bucket index
+  mutable std::size_t stored_ = 0; // physical entries, incl. lazily-dead
+};
+
+}  // namespace ge::sim

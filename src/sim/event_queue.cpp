@@ -2,56 +2,133 @@
 
 #include <algorithm>
 
+#include "sim/calendar_queue.h"
 #include "util/check.h"
 
 namespace ge::sim {
 
+std::string to_string(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kHeap:
+      return "heap";
+    case EventQueueKind::kCalendar:
+      return "calendar";
+  }
+  GE_CHECK(false, "unknown EventQueueKind");
+  return {};
+}
+
+EventQueueKind parse_event_queue_kind(const std::string& name) {
+  if (name == "heap") {
+    return EventQueueKind::kHeap;
+  }
+  if (name == "calendar") {
+    return EventQueueKind::kCalendar;
+  }
+  GE_CHECK(false, "unknown event queue kind (want heap|calendar)");
+  return EventQueueKind::kHeap;
+}
+
+std::unique_ptr<EventQueue> EventQueue::create(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kHeap:
+      return std::make_unique<HeapEventQueue>();
+    case EventQueueKind::kCalendar:
+      return std::make_unique<CalendarEventQueue>();
+  }
+  GE_CHECK(false, "unknown EventQueueKind");
+  return nullptr;
+}
+
 EventId EventQueue::push(double time, std::function<void()> action) {
   GE_CHECK(action != nullptr, "event action must be callable");
-  const EventId id = next_id_++;
-  heap_.push_back(HeapEntry{time, id, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  state_.push_back(State::kLive);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    GE_CHECK(slots_.size() < (std::size_t{1} << 32),
+             "event slot table overflow");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].state = SlotState::kLive;
+  const std::uint64_t seq = next_seq_++;
   ++live_count_;
-  return id;
+  if (live_count_ > peak_live_) {
+    peak_live_ = live_count_;
+  }
+  insert(Entry{time, seq, slot, std::move(action)});
+  return encode(slot, slots_[slot].gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id < 1 || id >= next_id_ || state_[id - 1] != State::kLive) {
+  if (!is_pending(id)) {
     return false;
   }
-  state_[id - 1] = State::kCancelled;
+  const std::uint64_t v = id - 1;
+  slots_[static_cast<std::uint32_t>(v)].state = SlotState::kCancelled;
   --live_count_;
   return true;
 }
 
-void EventQueue::skim() const {
-  while (!heap_.empty() && state_[heap_.front().id - 1] != State::kLive) {
+bool EventQueue::is_pending(EventId id) const {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  const std::uint64_t v = id - 1;
+  const std::uint32_t slot = static_cast<std::uint32_t>(v);
+  const std::uint32_t gen = static_cast<std::uint32_t>(v >> 32);
+  return slot < slots_.size() && slots_[slot].gen == gen &&
+         slots_[slot].state == SlotState::kLive;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) const {
+  ++slots_[slot].gen;  // invalidate outstanding handles
+  slots_[slot].state = SlotState::kFree;
+  free_slots_.push_back(slot);
+}
+
+double EventQueue::next_time() const {
+  GE_CHECK(!empty(), "next_time() on empty queue");
+  return peek_time();
+}
+
+Event EventQueue::pop() {
+  GE_CHECK(!empty(), "pop() on empty queue");
+  Entry entry = remove_min();
+  const EventId id = encode(entry.slot, slots_[entry.slot].gen);
+  release_slot(entry.slot);
+  --live_count_;
+  return Event{entry.time, id, std::move(entry.action)};
+}
+
+// --- HeapEventQueue ---
+
+void HeapEventQueue::insert(Entry entry) {
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void HeapEventQueue::skim() const {
+  while (!heap_.empty() && slot_dead(heap_.front().slot)) {
+    release_slot(heap_.front().slot);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
 }
 
-bool EventQueue::empty() const {
+double HeapEventQueue::peek_time() const {
   skim();
-  return heap_.empty();
-}
-
-double EventQueue::next_time() const {
-  skim();
-  GE_CHECK(!heap_.empty(), "next_time() on empty queue");
   return heap_.front().time;
 }
 
-Event EventQueue::pop() {
+EventQueue::Entry HeapEventQueue::remove_min() {
   skim();
-  GE_CHECK(!heap_.empty(), "pop() on empty queue");
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev{heap_.back().time, heap_.back().id, std::move(heap_.back().action)};
+  Entry entry = std::move(heap_.back());
   heap_.pop_back();
-  state_[ev.id - 1] = State::kDone;
-  --live_count_;
-  return ev;
+  return entry;
 }
 
 }  // namespace ge::sim

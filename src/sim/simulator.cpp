@@ -6,7 +6,7 @@ namespace ge::sim {
 
 EventId Simulator::schedule_at(double time, std::function<void()> action) {
   GE_CHECK(time >= now_ - 1e-9, "cannot schedule an event in the past");
-  return queue_.push(time < now_ ? now_ : time, std::move(action));
+  return queue_->push(time < now_ ? now_ : time, std::move(action));
 }
 
 EventId Simulator::schedule_in(double delay, std::function<void()> action) {
@@ -14,13 +14,13 @@ EventId Simulator::schedule_in(double delay, std::function<void()> action) {
   return schedule_at(now_ + (delay > 0.0 ? delay : 0.0), std::move(action));
 }
 
-bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+bool Simulator::cancel(EventId id) { return queue_->cancel(id); }
 
 bool Simulator::step() {
-  if (queue_.empty()) {
+  if (queue_->empty()) {
     return false;
   }
-  Event ev = queue_.pop();
+  Event ev = queue_->pop();
   GE_CHECK(ev.time >= now_ - 1e-9, "event time went backwards");
   if (ev.time > now_) {
     now_ = ev.time;
@@ -32,7 +32,7 @@ bool Simulator::step() {
 
 void Simulator::run_until(double horizon) {
   GE_CHECK(horizon >= now_, "run_until horizon is in the past");
-  while (!queue_.empty() && queue_.next_time() <= horizon) {
+  while (!queue_->empty() && queue_->next_time() <= horizon) {
     step();
   }
   now_ = horizon;

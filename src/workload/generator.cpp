@@ -46,9 +46,10 @@ Job WorkloadGenerator::next() {
   return job;
 }
 
-std::vector<Job> WorkloadGenerator::generate_until(double horizon) {
+std::vector<Job> WorkloadGenerator::generate_until(double horizon,
+                                                   std::uint64_t max_jobs) {
   std::vector<Job> jobs;
-  for (;;) {
+  while (max_jobs == 0 || jobs.size() < max_jobs) {
     Job job = next();
     if (job.arrival >= horizon) {
       break;

@@ -47,8 +47,11 @@ class WorkloadGenerator {
   // Generates the next request; arrivals are strictly increasing.
   Job next();
 
-  // Generates all requests arriving before `horizon` seconds.
-  std::vector<Job> generate_until(double horizon);
+  // Generates all requests arriving before `horizon` seconds.  When
+  // `max_jobs` is non-zero, stops after that many requests even if the
+  // horizon has not been reached (the capped prefix of the uncapped stream,
+  // so capped and uncapped runs share randomness job for job).
+  std::vector<Job> generate_until(double horizon, std::uint64_t max_jobs = 0);
 
   const WorkloadSpec& spec() const noexcept { return spec_; }
   const BoundedParetoDistribution& demand_distribution() const noexcept {

@@ -22,6 +22,10 @@ struct Job {
   double target = 0.0;    // c_j after cutting; invariant: 0 <= target <= demand
   double executed = 0.0;  // units processed so far; <= target (+eps)
   int core = kUnassigned; // core the job is pinned to (no migration)
+  // Cluster node the job was dispatched to (kUnassigned on a single server).
+  // Lives on the job instead of a cluster-side id-indexed vector so resident
+  // memory stays O(jobs in flight) on streaming replays.
+  std::int32_t server = kUnassigned;
   bool settled = false;
   // Time the response was returned to the user: completion of the (cut)
   // target, or the deadline for partial/dropped jobs.  < 0 until settled.

@@ -1,0 +1,45 @@
+#include "workload/job_store.h"
+
+#include "util/check.h"
+
+namespace ge::workload {
+
+Job* JobStore::acquire(const Job& proto) {
+  Job* slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    if (slab_used_ == kSlabJobs) {
+      slabs_.push_back(std::make_unique<Job[]>(kSlabJobs));
+      slab_used_ = 0;
+    }
+    slot = &slabs_.back()[slab_used_++];
+  }
+  *slot = proto;
+  ++total_acquired_;
+  ++in_flight_;
+  if (in_flight_ > peak_in_flight_) {
+    peak_in_flight_ = in_flight_;
+  }
+  return slot;
+}
+
+void JobStore::retire(Job* job, double now) {
+  GE_CHECK(job != nullptr && job->settled, "retiring an unsettled job");
+  GE_CHECK(in_flight_ > 0, "retire() without a matching acquire()");
+  GE_CHECK(limbo_.empty() || limbo_.back().release_time <=
+                                 now + quarantine_delay_ + 1e-12,
+           "retire() times must be non-decreasing");
+  --in_flight_;
+  limbo_.push_back(Quarantined{job, now + quarantine_delay_});
+}
+
+void JobStore::reclaim(double now) {
+  while (!limbo_.empty() && limbo_.front().release_time <= now) {
+    free_.push_back(limbo_.front().job);
+    limbo_.pop_front();
+  }
+}
+
+}  // namespace ge::workload

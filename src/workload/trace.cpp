@@ -19,9 +19,10 @@ Trace::Trace(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
   }
 }
 
-Trace Trace::generate(const WorkloadSpec& spec, double horizon) {
+Trace Trace::generate(const WorkloadSpec& spec, double horizon,
+                      std::uint64_t max_jobs) {
   WorkloadGenerator gen(spec);
-  return Trace(gen.generate_until(horizon));
+  return Trace(gen.generate_until(horizon, max_jobs));
 }
 
 double Trace::total_demand() const {

@@ -7,6 +7,7 @@
 // exported to CSV for inspection or external tooling.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,11 @@ class Trace {
   Trace() = default;
   explicit Trace(std::vector<Job> jobs);
 
-  // Materialises `horizon` seconds of a synthetic workload.
-  static Trace generate(const WorkloadSpec& spec, double horizon);
+  // Materialises `horizon` seconds of a synthetic workload; a non-zero
+  // `max_jobs` caps the job count (the capped prefix of the uncapped
+  // stream).
+  static Trace generate(const WorkloadSpec& spec, double horizon,
+                        std::uint64_t max_jobs = 0);
 
   const std::vector<Job>& jobs() const noexcept { return jobs_; }
   std::size_t size() const noexcept { return jobs_.size(); }

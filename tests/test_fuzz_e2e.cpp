@@ -189,6 +189,56 @@ TEST(FuzzEndToEnd, EngineParallelismBitIdenticalAcross200Configs) {
   }
 }
 
+// Streaming replay (--stream) must be bit-identical to the materialised
+// path: same generator stream, same event tie order, same id-ordered
+// accounting arithmetic (docs/DESIGN.md, "Streaming core").  Every third
+// case also caps the workload with max_jobs, exercising the capped-prefix
+// contract on both paths at once.
+TEST(FuzzEndToEnd, StreamingReplayBitIdenticalAcross60Configs) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    FuzzCase fc = make_fuzz_case(seed);
+    if (seed % 3 == 0) {
+      fc.cfg.max_jobs = 1 + 5 * seed;  // bites well before the horizon
+    }
+    const RunResult materialised = run_simulation(fc.cfg, fc.spec);
+
+    ExperimentConfig streamed_cfg = fc.cfg;
+    streamed_cfg.stream = true;
+    const RunResult streamed = run_simulation(streamed_cfg, fc.spec);
+
+    const std::string what = "seed=" + std::to_string(seed) + " sched=" +
+                             materialised.scheduler + " max_jobs=" +
+                             std::to_string(fc.cfg.max_jobs);
+    expect_sane(materialised, what);
+    expect_identical(materialised, streamed, what);
+    if (fc.cfg.max_jobs > 0) {
+      SCOPED_TRACE(what);
+      EXPECT_LE(streamed.released, fc.cfg.max_jobs);
+    }
+  }
+}
+
+// The calendar queue must replay the exact heap event order end to end, with
+// and without streaming (the per-queue differential test in test_sim.cpp
+// covers the raw pop order; this pins the full stack).
+TEST(FuzzEndToEnd, CalendarQueueBitIdenticalAcross60Configs) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    FuzzCase fc = make_fuzz_case(seed);
+    fc.cfg.stream = seed % 2 == 0;  // alternate materialised / streaming
+    const RunResult heap = run_simulation(fc.cfg, fc.spec);
+
+    ExperimentConfig cal_cfg = fc.cfg;
+    cal_cfg.event_queue = sim::EventQueueKind::kCalendar;
+    const RunResult calendar = run_simulation(cal_cfg, fc.spec);
+
+    const std::string what = "seed=" + std::to_string(seed) + " sched=" +
+                             heap.scheduler +
+                             (fc.cfg.stream ? " stream" : " materialised");
+    expect_sane(heap, what);
+    expect_identical(heap, calendar, what);
+  }
+}
+
 constexpr int kClusterFuzzCases = 100;
 
 TEST(FuzzEndToEnd, ClusterTelemetryOnOffBitIdenticalAcross100Configs) {

@@ -32,6 +32,7 @@
 #include "opt/job_cutter.h"
 #include "power/power_model.h"
 #include "quality/quality_function.h"
+#include "sim/calendar_queue.h"
 #include "sim/event_queue.h"
 #include "workload/trace.h"
 
@@ -321,22 +322,28 @@ TEST(KernelEquivalence, CutLevelBisectionStillMeetsTarget) {
 }
 
 // ---------------------------------------------------------------------------
-// 3. EventQueue (flat state table) vs a reference model (ordered map keyed
-//    by (time, id)) under random push/cancel/pop interleavings, including
-//    cancels of invalid, executed and already-cancelled ids.
+// 3. EventQueue implementations (generational slot table) vs a reference
+//    model (ordered map keyed by (time, push order)) under random
+//    push/cancel/pop interleavings, including cancels of invalid, executed,
+//    already-cancelled and stale (recycled-slot) ids.  Runs against both the
+//    heap and the calendar queue.
 // ---------------------------------------------------------------------------
 
-TEST(KernelEquivalence, EventQueueMatchesReferenceModel) {
-  sim::EventQueue queue;
-  std::map<std::pair<double, sim::EventId>, bool> model;  // live events
+template <typename Queue>
+void event_queue_matches_reference_model() {
+  Queue queue;
+  // Continuous random times make key collisions measure-zero, so ordering
+  // by (time, push order) matches the queue's (time, seq) contract.
+  std::map<std::pair<double, std::uint64_t>, sim::EventId> model;
   std::vector<sim::EventId> issued;
   std::mt19937_64 rng(4242);
   std::uniform_real_distribution<double> time_dist(0.0, 100.0);
   std::uniform_int_distribution<int> op_dist(0, 9);
+  std::uint64_t pushes = 0;
 
   auto model_cancel = [&](sim::EventId id) {
     for (auto it = model.begin(); it != model.end(); ++it) {
-      if (it->first.second == id) {
+      if (it->second == id) {
         model.erase(it);
         return true;
       }
@@ -349,29 +356,29 @@ TEST(KernelEquivalence, EventQueueMatchesReferenceModel) {
     if (op < 5 || model.empty()) {
       const double t = time_dist(rng);
       const sim::EventId id = queue.push(t, [] {});
-      EXPECT_EQ(id, issued.size() + 1);  // ids are sequential from 1
+      EXPECT_TRUE(queue.is_pending(id));
       issued.push_back(id);
-      model.emplace(std::make_pair(t, id), true);
+      model.emplace(std::make_pair(t, ++pushes), id);
     } else if (op < 7) {
-      // Cancel a random id ever issued (may be done/cancelled) or an
-      // invalid one.
+      // Cancel a random id ever issued -- possibly done, cancelled, or a
+      // stale handle whose slot was recycled -- or a never-issued one.
       sim::EventId id;
       if (op == 5 && !issued.empty()) {
         id = issued[std::uniform_int_distribution<std::size_t>(
             0, issued.size() - 1)(rng)];
       } else {
-        id = issued.size() + 1000;  // never issued
+        id = (std::uint64_t{1} << 48) + 1000;  // never issued
       }
       EXPECT_EQ(queue.cancel(id), model_cancel(id)) << "id=" << id;
       EXPECT_FALSE(queue.cancel(0));  // kInvalidEventId is never pending
     } else {
       ASSERT_FALSE(queue.empty());
-      const auto expected = model.begin()->first;
-      EXPECT_EQ(queue.next_time(), expected.first);
+      const auto expected = model.begin();
+      EXPECT_EQ(queue.next_time(), expected->first.first);
       const sim::Event ev = queue.pop();
-      EXPECT_EQ(ev.time, expected.first);
-      EXPECT_EQ(ev.id, expected.second);
-      model.erase(model.begin());
+      EXPECT_EQ(ev.time, expected->first.first);
+      EXPECT_EQ(ev.id, expected->second);
+      model.erase(expected);
       EXPECT_FALSE(queue.is_pending(ev.id));
       EXPECT_FALSE(queue.cancel(ev.id));  // done events cannot be cancelled
     }
@@ -379,19 +386,28 @@ TEST(KernelEquivalence, EventQueueMatchesReferenceModel) {
     EXPECT_EQ(queue.empty(), model.empty());
   }
 
-  // Drain: pop order must equal the model's (time, id) order exactly.
+  // Drain: pop order must equal the model's (time, push order) order.
   while (!model.empty()) {
-    const auto expected = model.begin()->first;
+    const auto expected = model.begin();
     const sim::Event ev = queue.pop();
-    EXPECT_EQ(ev.time, expected.first);
-    EXPECT_EQ(ev.id, expected.second);
-    model.erase(model.begin());
+    EXPECT_EQ(ev.time, expected->first.first);
+    EXPECT_EQ(ev.id, expected->second);
+    model.erase(expected);
   }
   EXPECT_TRUE(queue.empty());
 }
 
-TEST(KernelEquivalence, EventQueueIsPendingTracksLifecycle) {
-  sim::EventQueue queue;
+TEST(KernelEquivalence, HeapEventQueueMatchesReferenceModel) {
+  event_queue_matches_reference_model<sim::HeapEventQueue>();
+}
+
+TEST(KernelEquivalence, CalendarEventQueueMatchesReferenceModel) {
+  event_queue_matches_reference_model<sim::CalendarEventQueue>();
+}
+
+template <typename Queue>
+void event_queue_is_pending_tracks_lifecycle() {
+  Queue queue;
   EXPECT_FALSE(queue.is_pending(sim::kInvalidEventId));
   EXPECT_FALSE(queue.is_pending(1));  // not yet issued
   const sim::EventId a = queue.push(1.0, [] {});
@@ -406,6 +422,14 @@ TEST(KernelEquivalence, EventQueueIsPendingTracksLifecycle) {
   EXPECT_EQ(ev.id, a);
   EXPECT_FALSE(queue.is_pending(a));
   EXPECT_TRUE(queue.empty());
+}
+
+TEST(KernelEquivalence, HeapEventQueueIsPendingTracksLifecycle) {
+  event_queue_is_pending_tracks_lifecycle<sim::HeapEventQueue>();
+}
+
+TEST(KernelEquivalence, CalendarEventQueueIsPendingTracksLifecycle) {
+  event_queue_is_pending_tracks_lifecycle<sim::CalendarEventQueue>();
 }
 
 }  // namespace

@@ -32,6 +32,17 @@ def load_times(path):
         raise ValueError(f"{path}: missing 'benchmarks' array")
     if "context" not in data:
         raise ValueError(f"{path}: missing 'context' object")
+    # Debug-built numbers must never become (or be compared against)
+    # baselines.  `ge_build_type` is stamped by the bench binaries from their
+    # own NDEBUG setting; `library_build_type` is only a fallback, since it
+    # describes the installed google-benchmark library rather than this
+    # project's flags.
+    context = data["context"]
+    build = context.get("ge_build_type", context.get("library_build_type"))
+    if str(build).lower() != "release":
+        raise ValueError(
+            f"{path}: recorded from a non-release build "
+            f"(ge_build_type={build!r}); rebuild with -DCMAKE_BUILD_TYPE=Release")
 
     unit_scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     medians = {}
