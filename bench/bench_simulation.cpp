@@ -59,6 +59,18 @@ void BM_SimulateBE_Heavy(benchmark::State& state) { run_scheduler(state, "BE", 2
 void BM_SimulateFCFS_Heavy(benchmark::State& state) {
   run_scheduler(state, "FCFS", 220.0);
 }
+// Speed-scaling zoo at heavy load: OA re-solves the YDS staircase on every
+// arrival, AVR only maintains density suffix sums, BKP adds the estimator
+// re-sampled on the refresh grid -- the spread is the planner cost.
+void BM_SimulateOA_Heavy(benchmark::State& state) {
+  run_scheduler(state, "OA", 220.0);
+}
+void BM_SimulateAVR_Heavy(benchmark::State& state) {
+  run_scheduler(state, "AVR", 220.0);
+}
+void BM_SimulateBKP_Heavy(benchmark::State& state) {
+  run_scheduler(state, "BKP", 220.0);
+}
 void BM_SimulateGE_Discrete(benchmark::State& state) {
   ge::exp::ExperimentConfig cfg = bench_config(180.0);
   cfg.discrete_speeds = true;
@@ -170,6 +182,9 @@ BENCHMARK(BM_SimulateGE_Light)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateBE_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateFCFS_Heavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateOA_Heavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateAVR_Heavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateBKP_Heavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Discrete)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Telemetry)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateGE_Cluster4)->Unit(benchmark::kMillisecond);

@@ -27,11 +27,9 @@ int main(int argc, char** argv) {
       budget_cal.quality, budget_cal.evaluations, speed_cal.value, speed_cal.quality,
       speed_cal.evaluations);
 
-  exp::SchedulerSpec bep;
-  bep.algo = exp::Algorithm::kBeP;
+  exp::SchedulerSpec bep = exp::SchedulerSpec::parse("BE-P");
   bep.budget_scale = budget_cal.value;
-  exp::SchedulerSpec bes;
-  bes.algo = exp::Algorithm::kBeS;
+  exp::SchedulerSpec bes = exp::SchedulerSpec::parse("BE-S");
   bes.speed_cap_ghz = speed_cal.value;
   const std::vector<exp::SchedulerSpec> specs{exp::SchedulerSpec::parse("GE"), bep,
                                               bes};

@@ -42,8 +42,7 @@ CalibrationResult bisect(const ExperimentConfig& cfg, double lo, double hi,
 CalibrationResult calibrate_budget_scale(const ExperimentConfig& cfg, double lo,
                                          double hi, int iterations) {
   return bisect(cfg, lo, hi, iterations, [](double scale) {
-    SchedulerSpec spec;
-    spec.algo = Algorithm::kBeP;
+    SchedulerSpec spec = SchedulerSpec::parse("BE-P");
     spec.budget_scale = scale;
     return spec;
   });
@@ -52,8 +51,7 @@ CalibrationResult calibrate_budget_scale(const ExperimentConfig& cfg, double lo,
 CalibrationResult calibrate_speed_cap(const ExperimentConfig& cfg, double lo_ghz,
                                       double hi_ghz, int iterations) {
   return bisect(cfg, lo_ghz, hi_ghz, iterations, [](double ghz) {
-    SchedulerSpec spec;
-    spec.algo = Algorithm::kBeS;
+    SchedulerSpec spec = SchedulerSpec::parse("BE-S");
     spec.speed_cap_ghz = ghz;
     return spec;
   });

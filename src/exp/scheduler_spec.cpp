@@ -1,95 +1,102 @@
 #include "exp/scheduler_spec.h"
 
-#include <algorithm>
-#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 
-#include "core/good_enough.h"
-#include "core/queue_policy.h"
 #include "exp/config.h"
+#include "exp/scheduler_registry.h"
 #include "util/check.h"
-#include "util/table.h"
 
 namespace ge::exp {
 namespace {
 
-std::string upper(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
-  return s;
+std::string format_param(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::string format_params(const std::vector<double>& params) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out += ",";
+    out += format_param(params[i]);
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace
 
-std::string SchedulerSpec::display_name() const {
-  switch (algo) {
-    case Algorithm::kGe:
-      return "GE";
-    case Algorithm::kGeNoComp:
-      return "GE-NoComp";
-    case Algorithm::kGeEs:
-      return "GE-ES";
-    case Algorithm::kGeWf:
-      return "GE-WF";
-    case Algorithm::kGeRr:
-      return "GE-RR";
-    case Algorithm::kOq:
-      return "OQ";
-    case Algorithm::kBe:
-      return "BE";
-    case Algorithm::kBeP:
-      return "BE-P";
-    case Algorithm::kBeS:
-      return "BE-S";
-    case Algorithm::kFcfs:
-      return "FCFS";
-    case Algorithm::kFdfs:
-      return "FDFS";
-    case Algorithm::kLjf:
-      return "LJF";
-    case Algorithm::kSjf:
-      return "SJF";
+const SchedulerPlugin& SchedulerSpec::resolved() const {
+  if (plugin != nullptr) {
+    return *plugin;
   }
-  return "unknown";
+  const SchedulerPlugin* ge = SchedulerRegistry::instance().find("GE");
+  GE_CHECK(ge != nullptr, "default scheduler plugin 'GE' is not registered");
+  return *ge;
+}
+
+bool SchedulerSpec::is(std::string_view canonical_name) const {
+  return resolved().name == canonical_name;
+}
+
+std::string SchedulerSpec::display_name() const {
+  const SchedulerPlugin& p = resolved();
+  if (p.display) {
+    return p.display(*this);
+  }
+  if (params.empty()) {
+    return p.name;
+  }
+  return p.name + format_params(params);
 }
 
 SchedulerSpec SchedulerSpec::parse(const std::string& name) {
-  const std::string key = upper(name);
+  std::string base = name;
+  std::vector<double> params;
+  const std::size_t lb = name.find('[');
+  if (lb != std::string::npos) {
+    GE_CHECK(!name.empty() && name.back() == ']',
+             "bad scheduler spec (expected trailing ']'): " + name);
+    base = name.substr(0, lb);
+    const std::string inside = name.substr(lb + 1, name.size() - lb - 2);
+    std::size_t pos = 0;
+    while (pos < inside.size()) {
+      std::size_t comma = inside.find(',', pos);
+      if (comma == std::string::npos) comma = inside.size();
+      const std::string token = inside.substr(pos, comma - pos);
+      char* end = nullptr;
+      const double value = std::strtod(token.c_str(), &end);
+      GE_CHECK(!token.empty() && end == token.c_str() + token.size(),
+               "bad scheduler parameter '" + token + "' in: " + name);
+      params.push_back(value);
+      pos = comma + 1;
+    }
+    GE_CHECK(!params.empty(), "empty scheduler parameter list in: " + name);
+  }
+
+  const SchedulerPlugin* p = SchedulerRegistry::instance().find(base);
+  GE_CHECK(p != nullptr, "unknown scheduler name: " + name);
+  GE_CHECK(params.size() >= p->min_params && params.size() <= p->max_params,
+           "scheduler " + p->name + " expects between " +
+               std::to_string(p->min_params) + " and " +
+               std::to_string(p->max_params) + " parameters, got " +
+               std::to_string(params.size()) + ": " + name);
+
   SchedulerSpec spec;
-  if (key == "GE") {
-    spec.algo = Algorithm::kGe;
-  } else if (key == "GE-NOCOMP" || key == "GE-NC") {
-    spec.algo = Algorithm::kGeNoComp;
-  } else if (key == "GE-ES") {
-    spec.algo = Algorithm::kGeEs;
-  } else if (key == "GE-WF") {
-    spec.algo = Algorithm::kGeWf;
-  } else if (key == "GE-RR") {
-    spec.algo = Algorithm::kGeRr;
-  } else if (key == "OQ") {
-    spec.algo = Algorithm::kOq;
-  } else if (key == "BE") {
-    spec.algo = Algorithm::kBe;
-  } else if (key == "BE-P") {
-    spec.algo = Algorithm::kBeP;
-  } else if (key == "BE-S") {
-    spec.algo = Algorithm::kBeS;
-  } else if (key == "FCFS") {
-    spec.algo = Algorithm::kFcfs;
-  } else if (key == "FDFS") {
-    spec.algo = Algorithm::kFdfs;
-  } else if (key == "LJF") {
-    spec.algo = Algorithm::kLjf;
-  } else if (key == "SJF") {
-    spec.algo = Algorithm::kSjf;
-  } else {
-    GE_CHECK(false, "unknown scheduler name: " + name);
+  spec.plugin = p;
+  spec.params = std::move(params);
+  if (p->apply_params) {
+    p->apply_params(spec);
   }
   return spec;
 }
 
 double effective_budget(const SchedulerSpec& spec, const ExperimentConfig& cfg) {
-  if (spec.algo == Algorithm::kBeP) {
-    return cfg.power_budget * spec.budget_scale;
+  const SchedulerPlugin& p = spec.resolved();
+  if (p.effective_budget) {
+    return p.effective_budget(spec, cfg);
   }
   return cfg.power_budget;
 }
@@ -98,96 +105,7 @@ std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec,
                                                  const sched::SchedulerEnv& env,
                                                  const ExperimentConfig& cfg,
                                                  const power::DiscreteSpeedTable* table) {
-  auto ge_options = [&](bool cutting, bool compensation, double cut_target,
-                        power::DistributionPolicy policy) {
-    sched::GoodEnoughOptions opts;
-    opts.q_ge = cfg.q_ge;
-    opts.cut_target = cut_target;
-    opts.cutting = cutting;
-    opts.compensation = compensation;
-    opts.power_policy = policy;
-    opts.critical_load = cfg.critical_load;
-    opts.load_window = cfg.load_window;
-    opts.quantum = cfg.quantum;
-    opts.counter_threshold = cfg.counter_threshold;
-    opts.speed_table = table;
-    return opts;
-  };
-
-  using power::DistributionPolicy;
-  switch (spec.algo) {
-    case Algorithm::kGe:
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env, ge_options(true, true, cfg.q_ge, DistributionPolicy::kHybrid), "GE");
-    case Algorithm::kGeNoComp:
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env, ge_options(true, false, cfg.q_ge, DistributionPolicy::kHybrid),
-          "GE-NoComp");
-    case Algorithm::kGeEs:
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env, ge_options(true, true, cfg.q_ge, DistributionPolicy::kEqualSharing),
-          "GE-ES");
-    case Algorithm::kGeWf:
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env, ge_options(true, true, cfg.q_ge, DistributionPolicy::kWaterFilling),
-          "GE-WF");
-    case Algorithm::kGeRr: {
-      sched::GoodEnoughOptions opts =
-          ge_options(true, true, cfg.q_ge, DistributionPolicy::kHybrid);
-      opts.cumulative_rr = false;
-      return std::make_unique<sched::GoodEnoughScheduler>(env, opts, "GE-RR");
-    }
-    case Algorithm::kOq:
-      // Over-Qualified: target 2% above the demanded quality, never
-      // compensate (Sec. IV-A-1).
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env,
-          ge_options(true, false, std::min(cfg.q_ge + 0.02, 1.0),
-                     DistributionPolicy::kHybrid),
-          "OQ");
-    case Algorithm::kBe:
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env, ge_options(false, false, 1.0, DistributionPolicy::kWaterFilling), "BE");
-    case Algorithm::kBeP:
-      // The budget reduction is applied by the runner through
-      // effective_budget(); the scheduling behaviour is plain BE.
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env, ge_options(false, false, 1.0, DistributionPolicy::kWaterFilling),
-          "BE-P(x" + util::format_double(spec.budget_scale, 3) + ")");
-    case Algorithm::kBeS: {
-      // Speed control caps every core uniformly ("limits the power
-      // distributed to all the cores"), i.e. Equal-Sharing semantics; the
-      // lack of WF rebalancing is why BE-P beats BE-S in Fig. 8.
-      sched::GoodEnoughOptions opts =
-          ge_options(false, false, 1.0, DistributionPolicy::kEqualSharing);
-      opts.core_speed_cap = spec.speed_cap_ghz * cfg.units_per_ghz;
-      return std::make_unique<sched::GoodEnoughScheduler>(
-          env, opts, "BE-S(" + util::format_double(spec.speed_cap_ghz, 3) + "GHz)");
-    }
-    case Algorithm::kFcfs:
-    case Algorithm::kFdfs:
-    case Algorithm::kLjf:
-    case Algorithm::kSjf: {
-      sched::QueuePolicyOptions opts;
-      opts.speed_table = table;
-      switch (spec.algo) {
-        case Algorithm::kFcfs:
-          opts.order = sched::QueueOrder::kFcfs;
-          break;
-        case Algorithm::kFdfs:
-          opts.order = sched::QueueOrder::kFdfs;
-          break;
-        case Algorithm::kLjf:
-          opts.order = sched::QueueOrder::kLjf;
-          break;
-        default:
-          opts.order = sched::QueueOrder::kSjf;
-          break;
-      }
-      return std::make_unique<sched::QueuePolicyScheduler>(env, opts);
-    }
-  }
-  GE_CHECK(false, "unhandled algorithm");
+  return spec.resolved().factory(spec, env, cfg, table);
 }
 
 }  // namespace ge::exp

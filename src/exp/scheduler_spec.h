@@ -1,10 +1,18 @@
-// Named scheduler configurations: every algorithm the paper evaluates,
+// Named scheduler configurations: every algorithm the experiments evaluate,
 // resolvable from a string for the benchmark command lines.
+//
+// A spec is a pointer into the scheduler plugin registry plus the parsed
+// parameters.  The grammar is "NAME" or "NAME[p1,p2,...]" (case-insensitive
+// names/aliases, numeric parameters), e.g. "GE", "ge-nc", "QOA[0.5]",
+// "BE-P[0.8]".  The set of valid names is whatever is registered -- see
+// exp/scheduler_registry.h and docs/SCHEDULERS.md.
 #pragma once
 
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/scheduler.h"
 #include "power/discrete_speed.h"
@@ -12,44 +20,42 @@
 namespace ge::exp {
 
 struct ExperimentConfig;
-
-enum class Algorithm {
-  kGe,        // the paper's Good Enough scheduler (hybrid ES/WF)
-  kGeNoComp,  // GE without the compensation policy (Fig. 5)
-  kGeEs,      // GE forced to Equal-Sharing (Fig. 6/7)
-  kGeWf,      // GE forced to Water-Filling (Fig. 6/7)
-  kGeRr,      // GE with plain (non-cumulative) round-robin assignment
-  kOq,        // Over-Qualified: cut to Q_GE + 2%, no compensation
-  kBe,        // Best Effort: never cut, Water-Filling
-  kBeP,       // power control: BE on a calibrated budget (Fig. 8)
-  kBeS,       // speed control: BE with a calibrated core speed cap (Fig. 8)
-  kFcfs,
-  kFdfs,
-  kLjf,
-  kSjf,
-};
+struct SchedulerPlugin;
 
 struct SchedulerSpec {
-  Algorithm algo = Algorithm::kGe;
+  // The registered algorithm; nullptr means the default "GE" plugin
+  // (resolved lazily so `SchedulerSpec{}` keeps working as plain GE).
+  const SchedulerPlugin* plugin = nullptr;
+  // Bracket parameters exactly as parsed ("QOA[0.5]" -> {0.5}); plugins
+  // normalise them into dedicated fields via apply_params.
+  std::vector<double> params;
   // BE-P: multiplier on the configured power budget.
   double budget_scale = 1.0;
   // BE-S: per-core speed cap in GHz.
   double speed_cap_ghz = std::numeric_limits<double>::infinity();
 
+  // The plugin, with nullptr resolved to the registered "GE" entry.
+  const SchedulerPlugin& resolved() const;
+
+  // True when this spec resolves to the plugin with that canonical name
+  // (exact match, e.g. is("BE-P")).
+  bool is(std::string_view canonical_name) const;
+
+  // Canonical spelling; round-trips through parse() for every registered
+  // plugin (pinned by SchedulerSpecTest.ParseRoundTripEveryPlugin).
   std::string display_name() const;
 
-  // Parses "GE", "OQ", "BE", "BE-P", "BE-S", "FCFS", "FDFS", "LJF", "SJF",
-  // "GE-NOCOMP" (alias "GE-NC"), "GE-ES", "GE-WF", "GE-RR"
-  // (case-insensitive).  Round-trips with display_name() for every
-  // Algorithm (pinned by SchedulerSpecTest.ParseRoundTripEveryAlgorithm).
+  // Parses "NAME" or "NAME[p1,...]" against the registry; aborts on an
+  // unknown scheduler name, malformed brackets, or a parameter-count /
+  // domain violation.
   static SchedulerSpec parse(const std::string& name);
 };
 
 // Effective server power budget for a spec (BE-P scales it).
 double effective_budget(const SchedulerSpec& spec, const ExperimentConfig& cfg);
 
-// Builds the scheduler.  `table` may be nullptr (continuous DVFS) and must
-// outlive the scheduler when provided.
+// Builds the scheduler through the spec's plugin factory.  `table` may be
+// nullptr (continuous DVFS) and must outlive the scheduler when provided.
 std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec,
                                                  const sched::SchedulerEnv& env,
                                                  const ExperimentConfig& cfg,

@@ -406,10 +406,10 @@ TEST(ClusterRun, SingleServerGoldenBitIdentity) {
     cfg.failure_time = c.failure_time;
     cfg.failure_cores = c.failure_cores;
     exp::SchedulerSpec spec = exp::SchedulerSpec::parse(c.sched);
-    if (spec.algo == exp::Algorithm::kBeP) {
+    if (spec.is("BE-P")) {
       spec.budget_scale = 0.8;
     }
-    if (spec.algo == exp::Algorithm::kBeS) {
+    if (spec.is("BE-S")) {
       spec.speed_cap_ghz = 2.2;
     }
     const workload::Trace trace =

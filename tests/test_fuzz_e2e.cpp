@@ -37,8 +37,12 @@ namespace {
 
 constexpr int kFuzzCases = 200;
 
-const char* const kSchedulers[] = {"GE",   "BE",  "OQ",        "FCFS", "FDFS",
-                                   "SJF",  "LJF", "GE-NoComp", "GE-WF", "GE-ES"};
+const char* const kSchedulers[] = {
+    "GE",    "BE",    "OQ",  "FCFS",     "FDFS", "SJF", "LJF",
+    "GE-NoComp", "GE-WF", "GE-ES",
+    // Speed-scaling zoo: bit-identity across stream/queue/telemetry paths
+    // must hold for the registry newcomers too (incl. a parameterized one).
+    "OA",    "QOA[1.5]", "AVR", "BKP"};
 
 struct FuzzCase {
   ExperimentConfig cfg;

@@ -7,6 +7,7 @@
 #include "exp/calibrate.h"
 #include "exp/config.h"
 #include "exp/runner.h"
+#include "exp/scheduler_registry.h"
 #include "exp/scheduler_spec.h"
 #include "exp/sweep.h"
 
@@ -41,42 +42,89 @@ TEST(Config, DerivedQuantities) {
   EXPECT_NEAR(cfg.saturation_rate(), 32000.0 / cfg.mean_demand(), 1e-6);
 }
 
-TEST(SchedulerSpec, ParseRoundTripEveryAlgorithm) {
-  // Every Algorithm must round-trip display_name() -> parse(); adding an
-  // enum value without a parse() branch (or a stale doc comment's worth of
-  // names) fails here rather than at a bench command line.
-  for (Algorithm algo :
-       {Algorithm::kGe, Algorithm::kGeNoComp, Algorithm::kGeEs, Algorithm::kGeWf,
-        Algorithm::kGeRr, Algorithm::kOq, Algorithm::kBe, Algorithm::kBeP,
-        Algorithm::kBeS, Algorithm::kFcfs, Algorithm::kFdfs, Algorithm::kLjf,
-        Algorithm::kSjf}) {
-    SchedulerSpec spec;
-    spec.algo = algo;
+TEST(SchedulerSpec, RegistryHoldsEveryBuiltin) {
+  // The built-in plugins self-register from an OBJECT library; if the
+  // linker ever drops those translation units this fails loudly instead of
+  // "unknown scheduler" surfacing at a bench command line.
+  const SchedulerRegistry& reg = SchedulerRegistry::instance();
+  for (const char* name :
+       {"GE", "GE-NoComp", "GE-ES", "GE-WF", "GE-RR", "OQ", "BE", "BE-P",
+        "BE-S", "FCFS", "FDFS", "LJF", "SJF", "OA", "QOA", "AVR", "BKP"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_GE(reg.size(), 17u);
+}
+
+TEST(SchedulerSpec, ParseRoundTripEveryPlugin) {
+  // Every registered plugin must round-trip display_name() -> parse();
+  // registering a scheduler whose display does not parse back (or whose
+  // aliases collide) fails here rather than at a bench command line.
+  for (const SchedulerPlugin* plugin : SchedulerRegistry::instance().plugins()) {
+    SchedulerSpec spec = SchedulerSpec::parse(plugin->name);
+    EXPECT_EQ(&spec.resolved(), plugin) << plugin->name;
     const std::string name = spec.display_name();
-    ASSERT_NE(name, "unknown");
-    EXPECT_EQ(SchedulerSpec::parse(name).algo, algo) << name;
-    // Case-insensitive: the lowered name parses to the same algorithm.
+    EXPECT_EQ(&SchedulerSpec::parse(name).resolved(), plugin) << name;
+    EXPECT_EQ(SchedulerSpec::parse(name).display_name(), name) << name;
+    // Case-insensitive: the lowered spelling parses to the same plugin.
     std::string lowered = name;
     std::transform(lowered.begin(), lowered.end(), lowered.begin(),
                    [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-    EXPECT_EQ(SchedulerSpec::parse(lowered).algo, algo) << lowered;
+    EXPECT_EQ(&SchedulerSpec::parse(lowered).resolved(), plugin) << lowered;
+    for (const std::string& alias : plugin->aliases) {
+      EXPECT_EQ(&SchedulerSpec::parse(alias).resolved(), plugin) << alias;
+    }
   }
-  EXPECT_EQ(SchedulerSpec::parse("GE-NC").algo, Algorithm::kGeNoComp);
-  EXPECT_EQ(SchedulerSpec::parse("fcfs").algo, Algorithm::kFcfs);
+  EXPECT_TRUE(SchedulerSpec::parse("GE-NC").is("GE-NoComp"));
+  EXPECT_TRUE(SchedulerSpec::parse("fcfs").is("FCFS"));
+}
+
+TEST(SchedulerSpec, ParameterizedSpecsRoundTrip) {
+  const SchedulerSpec qoa = SchedulerSpec::parse("QOA[0.5]");
+  ASSERT_EQ(qoa.params.size(), 1u);
+  EXPECT_DOUBLE_EQ(qoa.params[0], 0.5);
+  EXPECT_EQ(qoa.display_name(), "QOA[0.5]");
+  EXPECT_EQ(SchedulerSpec::parse(qoa.display_name()).display_name(), "QOA[0.5]");
+  // QOA defaults to the 2 - 1/beta optimum and displays it explicitly.
+  EXPECT_EQ(SchedulerSpec::parse("qoa").display_name(), "QOA[1.5]");
+
+  const SchedulerSpec bep = SchedulerSpec::parse("BE-P[0.8]");
+  EXPECT_DOUBLE_EQ(bep.budget_scale, 0.8);
+  EXPECT_EQ(bep.display_name(), "BE-P[0.8]");
+  EXPECT_EQ(SchedulerSpec::parse("BE-P").display_name(), "BE-P");
+
+  const SchedulerSpec bes = SchedulerSpec::parse("be-s[2.4]");
+  EXPECT_DOUBLE_EQ(bes.speed_cap_ghz, 2.4);
+  EXPECT_EQ(bes.display_name(), "BE-S[2.4]");
+  EXPECT_EQ(SchedulerSpec::parse("BE-S").display_name(), "BE-S");
+}
+
+TEST(SchedulerSpec, DefaultSpecIsGe) {
+  // SchedulerSpec{} must keep behaving as plain GE: half the test suite
+  // (and the runner's defaults) construct it without parse().
+  const SchedulerSpec spec;
+  EXPECT_TRUE(spec.is("GE"));
+  EXPECT_EQ(spec.display_name(), "GE");
 }
 
 TEST(SchedulerSpec, UnknownNameDies) {
   EXPECT_DEATH((void)SchedulerSpec::parse("NOPE"), "unknown scheduler");
 }
 
+TEST(SchedulerSpec, BadParametersDie) {
+  EXPECT_DEATH((void)SchedulerSpec::parse("QOA[zero]"), "bad scheduler parameter");
+  EXPECT_DEATH((void)SchedulerSpec::parse("QOA[0.5"), "expected trailing");
+  EXPECT_DEATH((void)SchedulerSpec::parse("QOA[]"), "empty scheduler parameter");
+  EXPECT_DEATH((void)SchedulerSpec::parse("QOA[0.5,0.6]"), "expects between");
+  EXPECT_DEATH((void)SchedulerSpec::parse("QOA[-1]"), "must be positive");
+  EXPECT_DEATH((void)SchedulerSpec::parse("GE[1]"), "expects between");
+}
+
 TEST(SchedulerSpec, EffectiveBudgetScalesForBeP) {
   const ExperimentConfig cfg = ExperimentConfig::paper_defaults();
-  SchedulerSpec spec;
-  spec.algo = Algorithm::kBeP;
+  SchedulerSpec spec = SchedulerSpec::parse("BE-P");
   spec.budget_scale = 0.5;
   EXPECT_DOUBLE_EQ(effective_budget(spec, cfg), 160.0);
-  spec.algo = Algorithm::kGe;
-  EXPECT_DOUBLE_EQ(effective_budget(spec, cfg), 320.0);
+  EXPECT_DOUBLE_EQ(effective_budget(SchedulerSpec::parse("GE"), cfg), 320.0);
 }
 
 TEST(Runner, DeterministicForSeed) {

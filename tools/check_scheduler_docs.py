@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Checks that docs/SCHEDULERS.md enumerates exactly the scheduler registry.
+
+Usage:
+  check_scheduler_docs.py --catalog FILE [--docs docs/SCHEDULERS.md]
+
+--catalog is the `ge_list_schedulers --json` dump (schema ge-schedulers-v1).
+The script parses the "## Catalog" table of docs/SCHEDULERS.md -- one row
+per plugin, canonical name backticked in the first column, aliases
+backticked in the second ("--" when none) -- and fails if:
+
+  * a registered scheduler has no catalog row (new plugin, stale doc);
+  * a catalog row names a scheduler the registry does not know (removed or
+    renamed plugin, stale doc);
+  * a row's aliases disagree with the registry.
+
+This closes the loop for the handbook the way check_metrics_catalog.py does
+for the metric docs: code is the source of truth, CI keeps prose honest.
+"""
+import argparse
+import json
+import re
+import sys
+
+
+def parse_doc_catalog(path):
+    """Returns {name: set(aliases)} from the ## Catalog table of the doc."""
+    rows = {}
+    in_catalog = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if line.startswith("## "):
+                in_catalog = line.strip().lower() == "## catalog"
+                continue
+            if not in_catalog or not line.startswith("|"):
+                continue
+            cells = [c.strip() for c in line.strip().strip("|").split("|")]
+            if len(cells) < 2 or set(cells[0]) <= {"-", ":", " "}:
+                continue
+            name = re.match(r"`([^`]+)`", cells[0])
+            if not name:
+                continue  # header row
+            aliases = set(re.findall(r"`([^`]+)`", cells[1]))
+            rows[name.group(1)] = aliases
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--catalog", required=True,
+                    help="ge_list_schedulers --json output")
+    ap.add_argument("--docs", default="docs/SCHEDULERS.md")
+    args = ap.parse_args()
+
+    with open(args.catalog, encoding="utf-8") as fh:
+        dump = json.load(fh)
+    if dump.get("schema") != "ge-schedulers-v1":
+        sys.exit(f"unexpected catalog schema: {dump.get('schema')!r}")
+    registry = {s["name"]: set(s["aliases"]) for s in dump["schedulers"]}
+
+    doc = parse_doc_catalog(args.docs)
+    if not doc:
+        sys.exit(f"{args.docs}: found no '## Catalog' table rows")
+
+    errors = []
+    for name in sorted(registry.keys() - doc.keys()):
+        errors.append(f"registered scheduler `{name}` missing from {args.docs}")
+    for name in sorted(doc.keys() - registry.keys()):
+        errors.append(f"{args.docs} lists `{name}`, not in the registry")
+    for name in sorted(registry.keys() & doc.keys()):
+        if registry[name] != doc[name]:
+            errors.append(
+                f"alias mismatch for `{name}`: registry {sorted(registry[name])}"
+                f" vs doc {sorted(doc[name])}")
+
+    if errors:
+        print(f"{args.docs} out of sync with the scheduler registry:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"ok: {args.docs} catalog matches the registry "
+          f"({len(registry)} schedulers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
